@@ -1,0 +1,92 @@
+//! The simulation engine: one experiment = one (device, workload,
+//! mitigation) triple driven for a fixed activation budget.
+//!
+//! Per activation the engine (1) asks the workload for the next row,
+//! (2) lets the mitigation observe it, (3) applies the activation to the
+//! device, then (4) applies the mitigation's refresh actions. Activations
+//! double as the unit of simulated time: the periodic auto-refresh that
+//! real DRAM performs every tREFW is modeled as a full-device refresh every
+//! `auto_refresh_interval` activations.
+
+use rh_core::{DeviceState, Geometry, VictimModelParams};
+use rh_mitigations::{Mitigation, MitigationAction};
+use rh_workloads::Workload;
+
+/// Outcome of a single experiment run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub workload: String,
+    pub mitigation: String,
+    pub hc_first: u64,
+    pub activations: u64,
+    pub total_flips: u64,
+    pub flipped_rows: u64,
+    pub flips_per_mact: f64,
+    pub refreshes_issued: u64,
+}
+
+/// Drive `workload` through `mitigation` into a fresh device for
+/// `activations` steps.
+///
+/// `device_seed` fixes the per-row threshold jitter, so two runs with the
+/// same seed simulate byte-identical devices — the basis for
+/// common-random-number comparisons across mitigations.
+pub fn run_experiment(
+    geom: Geometry,
+    params: VictimModelParams,
+    device_seed: u64,
+    workload: &mut dyn Workload,
+    mitigation: &mut dyn Mitigation,
+    activations: u64,
+    auto_refresh_interval: u64,
+) -> RunResult {
+    let mut device = DeviceState::new(geom, params, device_seed);
+    for step in 1..=activations {
+        let addr = workload.next_access();
+        let actions = mitigation.on_activate(addr, &geom);
+        device.activate(addr);
+        for action in actions {
+            match action {
+                MitigationAction::RefreshRow(row) => device.refresh_row(row),
+                MitigationAction::RefreshAll => device.refresh_all(),
+            }
+        }
+        if auto_refresh_interval > 0 && step % auto_refresh_interval == 0 {
+            device.refresh_all();
+            mitigation.reset();
+        }
+    }
+    RunResult {
+        workload: workload.name(),
+        mitigation: mitigation.name(),
+        hc_first: params.hc_first,
+        activations,
+        total_flips: device.total_flips(),
+        flipped_rows: device.flipped_rows(),
+        flips_per_mact: device.flips_per_mact(),
+        refreshes_issued: device.refreshes_issued(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::RowAddr;
+    use rh_mitigations::NoMitigation;
+    use rh_workloads::SingleSided;
+
+    #[test]
+    fn unmitigated_hammer_flips_auto_refresh_prevents() {
+        let geom = Geometry::tiny(64);
+        let params = VictimModelParams::with_hc_first(1000);
+
+        let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
+        let r = run_experiment(geom, params, 1, &mut w, &mut NoMitigation, 5_000, 0);
+        assert!(r.total_flips > 0, "unmitigated hammering must flip bits");
+
+        // Auto-refresh well below HC_first: no window accumulates enough.
+        let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
+        let r = run_experiment(geom, params, 1, &mut w, &mut NoMitigation, 5_000, 500);
+        assert_eq!(r.total_flips, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal JSON emission for sweep results.
+//!
+//! The workspace is dependency-free by design (the container has no crates
+//! registry), so rather than pulling in serde we hand-render the small,
+//! fixed-shape result document. All strings we emit are crate-controlled
+//! identifiers, but they are escaped anyway for robustness.
+
+use crate::engine::RunResult;
+use crate::sweep::SweepOutput;
+use std::fmt::Write;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a finite float; JSON has no NaN/Inf so those become null.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn run_result(r: &RunResult, indent: &str) -> String {
+    format!(
+        "{indent}{{\"workload\": \"{}\", \"mitigation\": \"{}\", \"hc_first\": {}, \
+         \"activations\": {}, \"total_flips\": {}, \"flipped_rows\": {}, \
+         \"flips_per_mact\": {}, \"refreshes_issued\": {}}}",
+        escape(&r.workload),
+        escape(&r.mitigation),
+        r.hc_first,
+        r.activations,
+        r.total_flips,
+        r.flipped_rows,
+        num(r.flips_per_mact),
+        r.refreshes_issued,
+    )
+}
+
+fn result_array(results: &[RunResult]) -> String {
+    let rows: Vec<String> = results.iter().map(|r| run_result(r, "    ")).collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+/// Render a full [`SweepOutput`] as a pretty-printed JSON document.
+pub fn render(out: &SweepOutput) -> String {
+    let cfg = &out.config;
+    let hc_list: Vec<String> = cfg.hc_firsts.iter().map(|h| h.to_string()).collect();
+    let p_list: Vec<String> = cfg.para_probabilities.iter().map(|p| num(*p)).collect();
+    format!(
+        "{{\n  \"config\": {{\"seed\": {}, \"activations\": {}, \"hc_firsts\": [{}], \
+         \"para_probabilities\": [{}], \"benign_fraction\": {}, \
+         \"geometry\": {{\"channels\": {}, \"ranks\": {}, \"banks\": {}, \"rows_per_bank\": {}}}}},\n  \
+         \"grid\": {},\n  \"para_sweep\": {},\n  \"para_monotone\": {}\n}}",
+        cfg.seed,
+        cfg.activations,
+        hc_list.join(", "),
+        p_list.join(", "),
+        num(cfg.benign_fraction),
+        cfg.geometry.channels,
+        cfg.geometry.ranks,
+        cfg.geometry.banks,
+        cfg.geometry.rows_per_bank,
+        result_array(&out.grid),
+        result_array(&out.para_sweep),
+        out.para_monotone,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn run_result_renders_as_object() {
+        let r = RunResult {
+            workload: "double_sided".into(),
+            mitigation: "para(p=0.001)".into(),
+            hc_first: 4000,
+            activations: 1000,
+            total_flips: 7,
+            flipped_rows: 2,
+            flips_per_mact: 7000.0,
+            refreshes_issued: 3,
+        };
+        let s = run_result(&r, "");
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"hc_first\": 4000"));
+        assert!(s.contains("\"mitigation\": \"para(p=0.001)\""));
+    }
+}

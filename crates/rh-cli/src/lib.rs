@@ -1,0 +1,15 @@
+//! # rh-cli — sweep driver and reporting layer
+//!
+//! Top of the workspace: couples the three lower layers and reproduces the
+//! paper's core experiment loop. [`engine`] drives a workload's activation
+//! stream through a mitigation into the device model; [`sweep`] runs the
+//! `HC_first` × mitigation × workload grid plus a PARA sampling-probability
+//! sweep; [`json`] renders results as a JSON table (the shape of the
+//! paper's Figures 7–9: bit-flip rate vs. hammer count per mitigation).
+
+pub mod engine;
+pub mod json;
+pub mod sweep;
+
+pub use engine::{run_experiment, RunResult};
+pub use sweep::{run_sweep, SweepConfig, SweepOutput};

@@ -1,0 +1,106 @@
+//! End-to-end sweep tests over a reduced grid (kept small so the debug-mode
+//! test suite stays fast).
+
+use rh_cli::{run_sweep, SweepConfig};
+use rh_core::Geometry;
+
+fn small_config() -> SweepConfig {
+    SweepConfig {
+        seed: 0xBEEF,
+        activations: 30_000,
+        hc_firsts: vec![1_000, 2_000, 4_000, 8_000],
+        para_probabilities: vec![0.0, 0.002, 0.008, 0.032],
+        benign_fraction: 0.1,
+        geometry: Geometry::tiny(4096),
+    }
+}
+
+#[test]
+fn sweep_covers_full_grid() {
+    let out = run_sweep(&small_config());
+    // 4 HC_first x 3 workloads x 4 mitigations (baseline + 3 real ones).
+    assert_eq!(out.grid.len(), 4 * 3 * 4);
+    let workloads: std::collections::HashSet<_> =
+        out.grid.iter().map(|r| r.workload.clone()).collect();
+    assert_eq!(workloads.len(), 3);
+    let mitigations: std::collections::HashSet<_> =
+        out.grid.iter().map(|r| r.mitigation.clone()).collect();
+    assert!(mitigations.len() >= 4);
+}
+
+#[test]
+fn para_flips_monotone_and_actually_decreasing() {
+    let out = run_sweep(&small_config());
+    assert!(out.para_monotone, "flips must be non-increasing in PARA p");
+    let flips: Vec<u64> = out.para_sweep.iter().map(|r| r.total_flips).collect();
+    assert!(
+        flips.first().unwrap() > flips.last().unwrap(),
+        "sweep must show a real decrease: {flips:?}"
+    );
+}
+
+#[test]
+fn unmitigated_flips_grow_as_hc_first_drops() {
+    let out = run_sweep(&small_config());
+    // For the double-sided workload with no mitigation, a weaker device
+    // (lower HC_first) must flip at least as many bits.
+    let mut baseline: Vec<(u64, u64)> = out
+        .grid
+        .iter()
+        .filter(|r| r.mitigation == "none" && r.workload.starts_with("double_sided"))
+        .map(|r| (r.hc_first, r.total_flips))
+        .collect();
+    baseline.sort();
+    assert_eq!(baseline.len(), 4);
+    for pair in baseline.windows(2) {
+        assert!(
+            pair[0].1 >= pair[1].1,
+            "lower HC_first must not flip fewer bits: {baseline:?}"
+        );
+    }
+    assert!(baseline[0].1 > 0, "weakest device must flip under attack");
+}
+
+#[test]
+fn mitigations_reduce_flips_versus_baseline() {
+    let out = run_sweep(&small_config());
+    let hc = 1_000;
+    let flips_of = |mit_prefix: &str| -> u64 {
+        out.grid
+            .iter()
+            .filter(|r| {
+                r.hc_first == hc
+                    && r.workload.starts_with("double_sided")
+                    && r.mitigation.starts_with(mit_prefix)
+            })
+            .map(|r| r.total_flips)
+            .sum()
+    };
+    let none = flips_of("none");
+    assert!(none > 0);
+    assert!(flips_of("graphene") < none, "graphene must beat baseline");
+    assert!(flips_of("refresh") < none, "refresh must beat baseline");
+}
+
+#[test]
+fn sweep_adapts_victim_to_small_geometries() {
+    // The victim row is derived from the geometry, so a small bank must
+    // run without panicking (rows 2047–2049 used to index out of bounds).
+    let cfg = SweepConfig {
+        activations: 2_000,
+        hc_firsts: vec![500],
+        geometry: Geometry::tiny(64),
+        ..small_config()
+    };
+    let out = run_sweep(&cfg);
+    assert_eq!(out.grid.len(), 12);
+}
+
+#[test]
+fn sweep_is_deterministic() {
+    let a = run_sweep(&small_config());
+    let b = run_sweep(&small_config());
+    let fa: Vec<u64> = a.grid.iter().map(|r| r.total_flips).collect();
+    let fb: Vec<u64> = b.grid.iter().map(|r| r.total_flips).collect();
+    assert_eq!(fa, fb);
+}

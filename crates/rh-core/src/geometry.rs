@@ -1,0 +1,167 @@
+//! DRAM addressing: channel / rank / bank / row, plus row-adjacency math.
+//!
+//! RowHammer disturbance is physically confined to a *blast radius* of a few
+//! rows on either side of an aggressor within the same bank (the ISCA 2020
+//! paper observes victims up to 6 rows away on the newest chips, with the
+//! overwhelming majority at distance 1–2). All adjacency math here clips at
+//! bank edges: row 0 has no lower neighbor, the last row no upper neighbor.
+
+/// Static shape of the simulated DRAM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    pub channels: u32,
+    pub ranks: u32,
+    pub banks: u32,
+    pub rows_per_bank: u32,
+}
+
+impl Geometry {
+    /// Tiny geometry for unit tests and quick sweeps.
+    pub fn tiny(rows_per_bank: u32) -> Self {
+        Self {
+            channels: 1,
+            ranks: 1,
+            banks: 1,
+            rows_per_bank,
+        }
+    }
+
+    /// Total number of rows across the whole device.
+    pub fn total_rows(&self) -> u64 {
+        self.channels as u64 * self.ranks as u64 * self.banks as u64 * self.rows_per_bank as u64
+    }
+
+    /// Flat index of a row for dense per-row state vectors.
+    pub fn flat_index(&self, addr: RowAddr) -> usize {
+        debug_assert!(self.contains(addr));
+        let bank_linear = (addr.channel as u64 * self.ranks as u64 + addr.rank as u64)
+            * self.banks as u64
+            + addr.bank as u64;
+        (bank_linear * self.rows_per_bank as u64 + addr.row as u64) as usize
+    }
+
+    /// Whether an address is inside this geometry.
+    pub fn contains(&self, addr: RowAddr) -> bool {
+        addr.channel < self.channels
+            && addr.rank < self.ranks
+            && addr.bank < self.banks
+            && addr.row < self.rows_per_bank
+    }
+}
+
+/// Address of a single DRAM row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowAddr {
+    pub channel: u32,
+    pub rank: u32,
+    pub bank: u32,
+    pub row: u32,
+}
+
+impl RowAddr {
+    /// Convenience constructor for single-channel single-rank devices.
+    pub fn bank_row(bank: u32, row: u32) -> Self {
+        Self {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+        }
+    }
+
+    /// Same-bank address at `row`.
+    pub fn with_row(self, row: u32) -> Self {
+        Self { row, ..self }
+    }
+
+    /// Rows within `blast_radius` of this aggressor in the same bank,
+    /// clipped at bank edges, paired with their absolute distance (≥ 1).
+    ///
+    /// Ordering is deterministic: ascending row number. Returned as an
+    /// iterator because this sits on the per-activation hot path (device
+    /// update and every mitigation's observe step).
+    pub fn neighbors(
+        self,
+        geom: &Geometry,
+        blast_radius: u32,
+    ) -> impl Iterator<Item = (RowAddr, u32)> {
+        let row = self.row;
+        let lo = row.saturating_sub(blast_radius);
+        let hi = (row + blast_radius).min(geom.rows_per_bank - 1);
+        (lo..=hi)
+            .filter(move |&r| r != row)
+            .map(move |r| (self.with_row(r), row.abs_diff(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_interior() {
+        let g = Geometry::tiny(100);
+        let n = RowAddr::bank_row(0, 50).neighbors(&g, 2);
+        let rows: Vec<(u32, u32)> = n.map(|(a, d)| (a.row, d)).collect();
+        assert_eq!(rows, vec![(48, 2), (49, 1), (51, 1), (52, 2)]);
+    }
+
+    #[test]
+    fn neighbors_clip_at_low_edge() {
+        let g = Geometry::tiny(100);
+        let n = RowAddr::bank_row(0, 0).neighbors(&g, 3);
+        let rows: Vec<(u32, u32)> = n.map(|(a, d)| (a.row, d)).collect();
+        assert_eq!(rows, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn neighbors_clip_at_high_edge() {
+        let g = Geometry::tiny(100);
+        let n = RowAddr::bank_row(0, 99).neighbors(&g, 3);
+        let rows: Vec<(u32, u32)> = n.map(|(a, d)| (a.row, d)).collect();
+        assert_eq!(rows, vec![(96, 3), (97, 2), (98, 1)]);
+    }
+
+    #[test]
+    fn neighbors_one_off_edge() {
+        let g = Geometry::tiny(8);
+        let n = RowAddr::bank_row(0, 1).neighbors(&g, 2);
+        let rows: Vec<(u32, u32)> = n.map(|(a, d)| (a.row, d)).collect();
+        assert_eq!(rows, vec![(0, 1), (2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn neighbors_radius_larger_than_bank() {
+        let g = Geometry::tiny(4);
+        let n = RowAddr::bank_row(0, 2).neighbors(&g, 10);
+        let rows: Vec<u32> = n.map(|(a, _)| a.row).collect();
+        assert_eq!(rows, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn flat_index_round_trip_distinct() {
+        let g = Geometry {
+            channels: 2,
+            ranks: 2,
+            banks: 4,
+            rows_per_bank: 8,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for ch in 0..2 {
+            for rk in 0..2 {
+                for b in 0..4 {
+                    for r in 0..8 {
+                        let addr = RowAddr {
+                            channel: ch,
+                            rank: rk,
+                            bank: b,
+                            row: r,
+                        };
+                        assert!(seen.insert(g.flat_index(addr)));
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, g.total_rows());
+    }
+}

@@ -1,0 +1,26 @@
+//! # rh-core — DRAM device model
+//!
+//! Bottom layer of the RowHammer simulation workspace reproducing
+//! Kim et al., *"Revisiting RowHammer: An Experimental Analysis of Modern
+//! DRAM Devices and Mitigation Techniques"* (ISCA 2020).
+//!
+//! This crate knows nothing about mitigations or access patterns. It provides:
+//!
+//! * [`Geometry`] / [`RowAddr`] — channel/rank/bank/row addressing and
+//!   row-adjacency math (blast radius, clipped at bank edges);
+//! * [`DeviceState`] — per-row activation accounting and a charge-leakage
+//!   victim model parameterized by `HC_first` (the minimum hammer count that
+//!   induces the first bit flip) and a distance-attenuated blast radius;
+//! * [`SplitMix64`] — a small deterministic seeded RNG so every experiment
+//!   in the workspace is exactly reproducible.
+//!
+//! Upper layers: `rh-mitigations` (policy), `rh-workloads` (access-pattern
+//! generators), `rh-cli` (sweep driver and JSON reporting).
+
+pub mod device;
+pub mod geometry;
+pub mod rng;
+
+pub use device::{DeviceState, VictimModelParams};
+pub use geometry::{Geometry, RowAddr};
+pub use rng::SplitMix64;

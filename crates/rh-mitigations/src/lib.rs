@@ -1,0 +1,72 @@
+//! # rh-mitigations — mitigation policy layer
+//!
+//! Every mitigation observes the same per-activation stream through the
+//! [`Mitigation`] trait and responds with [`MitigationAction`]s that the
+//! engine (in `rh-cli`) applies to the device model. This mirrors how the
+//! ISCA 2020 paper evaluates mechanisms: all five see identical activation
+//! sequences and differ only in when they refresh potential victims.
+//!
+//! Implemented policies:
+//!
+//! * [`NoMitigation`] — baseline; relies solely on periodic auto-refresh.
+//! * [`Para`] — Probabilistic Adjacent Row Activation (Kim et al., ISCA
+//!   2014): on each activation, with probability `p`, refresh the
+//!   aggressor's neighbors. Stateless apart from its RNG.
+//! * [`Graphene`] — top-k frequent-row tracking via the Misra–Gries heavy
+//!   hitters algorithm (Park et al., MICRO 2020): refresh a tracked row's
+//!   neighbors whenever its estimated count crosses a threshold.
+//! * [`IncreasedRefresh`] — shorten the effective refresh window by issuing
+//!   full-device refreshes every `interval` activations; the paper shows
+//!   this scales worst as `HC_first` drops.
+
+pub mod graphene;
+pub mod para;
+pub mod refresh;
+
+pub use graphene::Graphene;
+pub use para::Para;
+pub use refresh::IncreasedRefresh;
+
+use rh_core::{Geometry, RowAddr};
+
+/// An action a mitigation asks the engine to perform on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationAction {
+    /// Refresh one row (restore its charge).
+    RefreshRow(RowAddr),
+    /// Refresh the entire device.
+    RefreshAll,
+}
+
+/// A RowHammer mitigation observing the activation stream.
+///
+/// The engine calls [`Mitigation::on_activate`] for every row activation
+/// *before* the activation is applied to the device, and applies the
+/// returned actions immediately after it. Implementations must be
+/// deterministic given their construction-time seed.
+pub trait Mitigation {
+    /// Short stable identifier used in result tables (e.g. `"para(p=0.001)"`).
+    fn name(&self) -> String;
+
+    /// Observe one activation; return any refreshes to perform.
+    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry) -> Vec<MitigationAction>;
+
+    /// Forget all accumulated state (e.g. at a refresh-window boundary).
+    fn reset(&mut self);
+}
+
+/// Baseline: never intervenes.
+#[derive(Debug, Default, Clone)]
+pub struct NoMitigation;
+
+impl Mitigation for NoMitigation {
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+
+    fn on_activate(&mut self, _addr: RowAddr, _geom: &Geometry) -> Vec<MitigationAction> {
+        Vec::new()
+    }
+
+    fn reset(&mut self) {}
+}

@@ -1,0 +1,90 @@
+//! Increased refresh rate — the oldest deployed RowHammer response.
+//!
+//! Shortening the refresh interval (DDR3's 64ms → 32ms → …) bounds how many
+//! activations fit between two refreshes of any victim. The ISCA 2020 paper
+//! shows this mechanism ages worst: as `HC_first` drops below ~32k the
+//! required refresh rate consumes unacceptable bandwidth and power. We model
+//! it as a full-device refresh every `interval` activations (a time proxy:
+//! activations are the unit of simulated time throughout the workspace).
+
+use crate::{Mitigation, MitigationAction};
+use rh_core::{Geometry, RowAddr};
+
+/// Periodic full-device refresh every `interval` activations.
+#[derive(Debug, Clone)]
+pub struct IncreasedRefresh {
+    interval: u64,
+    since_last: u64,
+}
+
+impl IncreasedRefresh {
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0);
+        Self {
+            interval,
+            since_last: 0,
+        }
+    }
+
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+}
+
+impl Mitigation for IncreasedRefresh {
+    fn name(&self) -> String {
+        format!("refresh(interval={})", self.interval)
+    }
+
+    fn on_activate(&mut self, _addr: RowAddr, _geom: &Geometry) -> Vec<MitigationAction> {
+        self.since_last += 1;
+        if self.since_last >= self.interval {
+            self.since_last = 0;
+            vec![MitigationAction::RefreshAll]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.since_last = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::Geometry;
+
+    #[test]
+    fn fires_exactly_every_interval() {
+        let geom = Geometry::tiny(8);
+        let mut m = IncreasedRefresh::new(10);
+        let addr = RowAddr::bank_row(0, 1);
+        let mut fired_at = Vec::new();
+        for i in 1u64..=35 {
+            if !m.on_activate(addr, &geom).is_empty() {
+                fired_at.push(i);
+            }
+        }
+        assert_eq!(fired_at, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn reset_restarts_countdown() {
+        let geom = Geometry::tiny(8);
+        let mut m = IncreasedRefresh::new(10);
+        let addr = RowAddr::bank_row(0, 1);
+        for _ in 0..9 {
+            m.on_activate(addr, &geom);
+        }
+        m.reset();
+        for _ in 0..9 {
+            assert!(m.on_activate(addr, &geom).is_empty());
+        }
+        assert_eq!(
+            m.on_activate(addr, &geom),
+            vec![MitigationAction::RefreshAll]
+        );
+    }
+}

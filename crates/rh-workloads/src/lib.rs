@@ -1,0 +1,257 @@
+//! # rh-workloads — hammer-engine access patterns
+//!
+//! Generators for the activation streams the ISCA 2020 paper drives its
+//! chips with: single-sided, double-sided, and many-sided hammering, plus a
+//! [`BenignMixer`] that interleaves uniformly random "normal" traffic so
+//! mitigations are evaluated under realistic noise rather than pure attack
+//! streams.
+//!
+//! A [`Workload`] is an infinite deterministic iterator over [`RowAddr`]s;
+//! the engine in `rh-cli` pulls a fixed budget of activations from it.
+
+use rh_core::{Geometry, RowAddr, SplitMix64};
+
+/// An infinite, deterministic stream of row activations.
+pub trait Workload {
+    /// Short stable identifier used in result tables.
+    fn name(&self) -> String;
+
+    /// Produce the next row to activate.
+    fn next_access(&mut self) -> RowAddr;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn next_access(&mut self) -> RowAddr {
+        (**self).next_access()
+    }
+}
+
+/// Classic single-sided hammering: one aggressor row activated repeatedly.
+#[derive(Debug, Clone)]
+pub struct SingleSided {
+    aggressor: RowAddr,
+}
+
+impl SingleSided {
+    /// Hammer the row adjacent to `victim` from below (or above at edge 0).
+    pub fn targeting(victim: RowAddr) -> Self {
+        let aggr_row = if victim.row > 0 {
+            victim.row - 1
+        } else {
+            victim.row + 1
+        };
+        Self {
+            aggressor: victim.with_row(aggr_row),
+        }
+    }
+
+    pub fn new(aggressor: RowAddr) -> Self {
+        Self { aggressor }
+    }
+}
+
+impl Workload for SingleSided {
+    fn name(&self) -> String {
+        "single_sided".to_string()
+    }
+
+    fn next_access(&mut self) -> RowAddr {
+        self.aggressor
+    }
+}
+
+/// Double-sided hammering: alternate the two rows sandwiching the victim.
+/// The most efficient pattern on pre-TRR parts — the victim receives full
+/// coupling from both sides, halving the per-aggressor hammer count needed.
+#[derive(Debug, Clone)]
+pub struct DoubleSided {
+    below: RowAddr,
+    above: RowAddr,
+    toggle: bool,
+}
+
+impl DoubleSided {
+    /// Sandwich `victim`; requires the victim not to sit on a bank edge.
+    pub fn targeting(victim: RowAddr, geom: &Geometry) -> Self {
+        assert!(
+            victim.row > 0 && victim.row + 1 < geom.rows_per_bank,
+            "double-sided victim must have neighbors on both sides"
+        );
+        Self {
+            below: victim.with_row(victim.row - 1),
+            above: victim.with_row(victim.row + 1),
+            toggle: false,
+        }
+    }
+}
+
+impl Workload for DoubleSided {
+    fn name(&self) -> String {
+        "double_sided".to_string()
+    }
+
+    fn next_access(&mut self) -> RowAddr {
+        self.toggle = !self.toggle;
+        if self.toggle {
+            self.below
+        } else {
+            self.above
+        }
+    }
+}
+
+/// Many-sided hammering (TRRespass-style): cycle through `n` aggressors
+/// spaced two rows apart, so every second row between them is a victim
+/// hammered from both sides. Defeats small-table TRR/counter mitigations by
+/// spreading activations across more rows than the table can track.
+#[derive(Debug, Clone)]
+pub struct ManySided {
+    aggressors: Vec<RowAddr>,
+    cursor: usize,
+}
+
+impl ManySided {
+    /// `n` aggressors starting at `first`, spaced 2 apart within the bank.
+    pub fn new(first: RowAddr, n: usize, geom: &Geometry) -> Self {
+        assert!(n >= 2, "many-sided needs at least two aggressors");
+        let last_row = first.row as u64 + 2 * (n as u64 - 1);
+        assert!(
+            last_row < geom.rows_per_bank as u64,
+            "aggressor set exceeds bank"
+        );
+        Self {
+            aggressors: (0..n as u32)
+                .map(|i| first.with_row(first.row + 2 * i))
+                .collect(),
+            cursor: 0,
+        }
+    }
+
+    pub fn sides(&self) -> usize {
+        self.aggressors.len()
+    }
+}
+
+impl Workload for ManySided {
+    fn name(&self) -> String {
+        format!("many_sided(n={})", self.aggressors.len())
+    }
+
+    fn next_access(&mut self) -> RowAddr {
+        let addr = self.aggressors[self.cursor];
+        self.cursor = (self.cursor + 1) % self.aggressors.len();
+        addr
+    }
+}
+
+/// Wraps an attack workload, replacing a fraction of accesses with
+/// uniformly random benign traffic over the whole device.
+#[derive(Debug, Clone)]
+pub struct BenignMixer<W> {
+    inner: W,
+    /// Fraction of accesses that are benign, in `[0, 1]`.
+    benign_fraction: f64,
+    geom: Geometry,
+    rng: SplitMix64,
+}
+
+impl<W: Workload> BenignMixer<W> {
+    pub fn new(inner: W, benign_fraction: f64, geom: Geometry, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&benign_fraction));
+        Self {
+            inner,
+            benign_fraction,
+            geom,
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl<W: Workload> Workload for BenignMixer<W> {
+    fn name(&self) -> String {
+        format!("{}+benign({})", self.inner.name(), self.benign_fraction)
+    }
+
+    fn next_access(&mut self) -> RowAddr {
+        if self.rng.chance(self.benign_fraction) {
+            RowAddr {
+                channel: self.rng.gen_range(self.geom.channels as u64) as u32,
+                rank: self.rng.gen_range(self.geom.ranks as u64) as u32,
+                bank: self.rng.gen_range(self.geom.banks as u64) as u32,
+                row: self.rng.gen_range(self.geom.rows_per_bank as u64) as u32,
+            }
+        } else {
+            self.inner.next_access()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sided_repeats_one_row() {
+        let mut w = SingleSided::targeting(RowAddr::bank_row(0, 10));
+        for _ in 0..10 {
+            assert_eq!(w.next_access(), RowAddr::bank_row(0, 9));
+        }
+    }
+
+    #[test]
+    fn single_sided_at_edge_picks_upper_aggressor() {
+        let mut w = SingleSided::targeting(RowAddr::bank_row(0, 0));
+        assert_eq!(w.next_access(), RowAddr::bank_row(0, 1));
+    }
+
+    #[test]
+    fn double_sided_alternates_sandwich() {
+        let g = Geometry::tiny(32);
+        let mut w = DoubleSided::targeting(RowAddr::bank_row(0, 10), &g);
+        let seq: Vec<u32> = (0..4).map(|_| w.next_access().row).collect();
+        assert_eq!(seq, vec![9, 11, 9, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "both sides")]
+    fn double_sided_rejects_edge_victim() {
+        let g = Geometry::tiny(32);
+        DoubleSided::targeting(RowAddr::bank_row(0, 0), &g);
+    }
+
+    #[test]
+    fn many_sided_cycles_spaced_aggressors() {
+        let g = Geometry::tiny(64);
+        let mut w = ManySided::new(RowAddr::bank_row(0, 10), 3, &g);
+        let seq: Vec<u32> = (0..6).map(|_| w.next_access().row).collect();
+        assert_eq!(seq, vec![10, 12, 14, 10, 12, 14]);
+    }
+
+    #[test]
+    fn mixer_fraction_is_respected() {
+        let g = Geometry::tiny(1024);
+        let inner = SingleSided::new(RowAddr::bank_row(0, 100));
+        let mut w = BenignMixer::new(inner, 0.3, g, 42);
+        let n = 100_000;
+        let benign = (0..n)
+            .filter(|_| w.next_access() != RowAddr::bank_row(0, 100))
+            .count();
+        // Random benign rows hit row 100 with probability 1/1024 — negligible.
+        let frac = benign as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "benign fraction was {frac}");
+    }
+
+    #[test]
+    fn mixer_is_deterministic_per_seed() {
+        let g = Geometry::tiny(64);
+        let mk = || BenignMixer::new(SingleSided::new(RowAddr::bank_row(0, 5)), 0.5, g, 7);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..1000 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+}
