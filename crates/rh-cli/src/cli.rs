@@ -1,0 +1,271 @@
+//! Command-line parsing for the sweep driver.
+//!
+//! Lives in the library (rather than `main.rs`) so every parse and rejection
+//! path is unit-testable. Parsing is purely syntactic; semantic validation
+//! is shared with programmatic callers via [`SweepConfig::validate`].
+
+use crate::sweep::SweepConfig;
+
+pub const USAGE: &str = "\
+rh-cli — RowHammer mitigation sweep (Kim et al., ISCA 2020 reproduction)
+
+USAGE:
+    rh-cli sweep [OPTIONS]
+
+OPTIONS:
+    --seed <N>              RNG seed for device + mitigations (default 0xC0FFEE)
+    --activations <N>       activation budget per experiment cell (default 200000)
+    --hc <A,B,...>          HC_first values to sweep (default 2000,4000,8000,16000)
+    --sides <A,B,...>       many-sided aggressor counts, each >= 2 (default 2,4,8,16)
+    --para-p <P1,P2,...>    PARA sampling probabilities (default 0.0,0.001,0.004,0.016)
+    --benign-fraction <F>   fraction of benign traffic mixed in (default 0.1)
+    --refresh-interval <N>  auto-refresh (tREFW) period in activations,
+                            0 disables (default 32000)
+    --threads <N>           worker threads for cell execution; output is
+                            byte-identical for any value (default: all cores)
+    -h, --help              print this help
+";
+
+/// Fully parsed invocation: the sweep config plus execution options that
+/// must not influence results (and are therefore kept out of the config).
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    pub config: SweepConfig,
+    pub threads: usize,
+}
+
+/// Outcome of parsing the arguments after `sweep`.
+#[derive(Debug, Clone)]
+pub enum Invocation {
+    /// `-h`/`--help` appeared; print usage and exit successfully.
+    Help,
+    Sweep(CliArgs),
+}
+
+/// Parse a comma-separated list, skipping empty items (so trailing commas
+/// are tolerated); an *effectively empty* list is rejected here because no
+/// flag taking a list accepts zero values.
+fn parse_list<T: std::str::FromStr>(s: &str, flag: &str) -> Result<Vec<T>, String> {
+    let values: Result<Vec<T>, String> = s
+        .split(',')
+        .map(str::trim)
+        .filter(|x| !x.is_empty())
+        .map(|x| {
+            x.parse::<T>()
+                .map_err(|_| format!("invalid value '{x}' for {flag}"))
+        })
+        .collect();
+    let values = values?;
+    if values.is_empty() {
+        return Err(format!("{flag} requires at least one value"));
+    }
+    Ok(values)
+}
+
+/// Parse a u64 in decimal or `0x` hexadecimal.
+pub fn parse_u64_maybe_hex(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Parse the arguments following the `sweep` subcommand. Syntactic errors
+/// are caught per flag; semantic cross-field validation is delegated to
+/// [`SweepConfig::validate`] so the CLI and programmatic callers reject
+/// exactly the same configs with the same messages.
+pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut cfg = SweepConfig::default();
+    let mut threads = default_threads();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                let v = value(&mut i, "--seed")?;
+                cfg.seed = parse_u64_maybe_hex(&v).ok_or(format!("invalid --seed '{v}'"))?;
+            }
+            "--activations" => {
+                let v = value(&mut i, "--activations")?;
+                cfg.activations = v
+                    .parse()
+                    .map_err(|_| format!("invalid --activations '{v}'"))?;
+            }
+            "--hc" => cfg.hc_firsts = parse_list(&value(&mut i, "--hc")?, "--hc")?,
+            "--sides" => cfg.sides = parse_list(&value(&mut i, "--sides")?, "--sides")?,
+            "--para-p" => {
+                cfg.para_probabilities = parse_list(&value(&mut i, "--para-p")?, "--para-p")?;
+            }
+            "--benign-fraction" => {
+                let v = value(&mut i, "--benign-fraction")?;
+                cfg.benign_fraction = v
+                    .parse()
+                    .map_err(|_| format!("invalid --benign-fraction '{v}'"))?;
+            }
+            "--refresh-interval" => {
+                let v = value(&mut i, "--refresh-interval")?;
+                cfg.auto_refresh_interval = v
+                    .parse()
+                    .map_err(|_| format!("invalid --refresh-interval '{v}'"))?;
+            }
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                threads = v.parse().map_err(|_| format!("invalid --threads '{v}'"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "-h" | "--help" => return Ok(Invocation::Help),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    cfg.validate()?;
+    Ok(Invocation::Sweep(CliArgs {
+        config: cfg,
+        threads,
+    }))
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        match parse_args(&owned)? {
+            Invocation::Sweep(a) => Ok(a),
+            Invocation::Help => panic!("unexpected help invocation for {args:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.config.seed, 0xC0FFEE);
+        assert_eq!(a.config.auto_refresh_interval, 32_000);
+        assert!(a.threads >= 1);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--seed",
+            "0xBEEF",
+            "--activations",
+            "5000",
+            "--hc",
+            "100,200",
+            "--sides",
+            "2,8",
+            "--para-p",
+            "0.01,0.001",
+            "--benign-fraction",
+            "0.25",
+            "--refresh-interval",
+            "0",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(a.config.seed, 0xBEEF);
+        assert_eq!(a.config.activations, 5000);
+        assert_eq!(a.config.hc_firsts, vec![100, 200]);
+        assert_eq!(a.config.sides, vec![2, 8]);
+        assert_eq!(a.config.para_probabilities, vec![0.01, 0.001], "raw order");
+        assert_eq!(a.config.benign_fraction, 0.25);
+        assert_eq!(a.config.auto_refresh_interval, 0);
+        assert_eq!(a.threads, 3);
+    }
+
+    #[test]
+    fn hex_and_decimal_seeds() {
+        assert_eq!(parse_u64_maybe_hex("0xff"), Some(255));
+        assert_eq!(parse_u64_maybe_hex("0XFF"), Some(255));
+        assert_eq!(parse_u64_maybe_hex("255"), Some(255));
+        assert_eq!(parse_u64_maybe_hex("0x"), None);
+        assert_eq!(parse_u64_maybe_hex("zz"), None);
+        assert_eq!(parse_u64_maybe_hex("-1"), None);
+        assert_eq!(
+            parse_u64_maybe_hex("0xffffffffffffffff"),
+            Some(u64::MAX),
+            "full 64-bit range"
+        );
+        assert_eq!(parse_u64_maybe_hex("0x10000000000000000"), None, "overflow");
+    }
+
+    #[test]
+    fn list_parsing_tolerates_spacing_and_trailing_commas() {
+        let a = parse(&["--hc", " 100 , 200 ,"]).unwrap();
+        assert_eq!(a.config.hc_firsts, vec![100, 200]);
+    }
+
+    #[test]
+    fn help_flag_wins_over_other_arguments() {
+        for args in [&["-h"][..], &["--help"], &["--hc", "100", "--help"]] {
+            let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            assert!(matches!(parse_args(&owned), Ok(Invocation::Help)));
+        }
+    }
+
+    #[test]
+    fn para_p_kept_raw_normalization_happens_at_plan_time() {
+        // Dedup/sort is owned by SweepConfig::normalized, not the parser,
+        // so the reported config and executed grid can never disagree.
+        let a = parse(&["--para-p", "0.01,0.0,0.01,0.001"]).unwrap();
+        assert_eq!(a.config.para_probabilities, vec![0.01, 0.0, 0.01, 0.001]);
+        let n = a.config.normalized();
+        assert_eq!(n.para_probabilities, vec![0.0, 0.001, 0.01]);
+    }
+
+    #[test]
+    fn rejection_paths_have_clear_errors() {
+        for (args, needle) in [
+            (
+                &["--activations", "0"][..],
+                "activations must be at least 1",
+            ),
+            (&["--activations", "x"], "--activations"),
+            (&["--seed", "0x"], "--seed"),
+            (&["--seed"], "requires a value"),
+            (&["--hc", ","], "at least one value"),
+            (&["--hc", "1,zero"], "invalid value 'zero'"),
+            (&["--hc", "0"], "positive"),
+            (&["--sides", "1"], "at least 2"),
+            (&["--sides", ""], "at least one value"),
+            (&["--para-p", ","], "at least one value"),
+            (&["--para-p", "1.5"], "[0, 1]"),
+            (&["--para-p", "nope"], "invalid value 'nope'"),
+            (&["--benign-fraction", "2.0"], "[0, 1]"),
+            (&["--refresh-interval", "-1"], "--refresh-interval"),
+            (&["--threads", "0"], "--threads"),
+            (&["--threads", "many"], "--threads"),
+            (&["--frobnicate"], "unknown option"),
+        ] {
+            let err = parse(args).expect_err(&format!("{args:?} must be rejected"));
+            assert!(
+                err.contains(needle),
+                "error for {args:?} was '{err}', expected to mention '{needle}'"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_para_p_is_rejected() {
+        // f64::from_str accepts "NaN"; range validation must still catch it.
+        let err = parse(&["--para-p", "NaN"]).unwrap_err();
+        assert!(err.contains("[0, 1]"), "got '{err}'");
+    }
+}

@@ -1,0 +1,127 @@
+//! Cell execution: shard a plan's cells across worker threads and merge
+//! results back into plan order.
+//!
+//! Cells are embarrassingly parallel — each one materializes its own device,
+//! workload, and mitigation from plain specs and seeds — so the executor is
+//! a work-stealing loop over an atomic cursor: dependency-free, and immune
+//! to scheduling order because every result is written to its cell's slot
+//! and the merged vector is returned in plan order. `--threads 1` and
+//! `--threads N` therefore produce identical results, which the integration
+//! tests and the CI determinism job assert byte-for-byte on the JSON.
+
+use crate::engine::{run_experiment, RunResult};
+use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
+use rh_core::VictimModelParams;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run one cell: build its components from specs + seeds and drive the
+/// engine. Pure function of `(plan, cell)` — no shared state.
+fn run_cell(plan: &SweepPlan, cell: &CellSpec) -> RunResult {
+    let params = VictimModelParams::with_hc_first(cell.hc_first);
+    let mut workload = cell
+        .workload
+        .build(
+            &plan.config.geometry,
+            plan.config.benign_fraction,
+            cell.seeds.workload,
+        )
+        .expect("workloads are validated at plan time");
+    let mut mitigation = cell
+        .mitigation
+        .build(cell.hc_first, BLAST_RADIUS, cell.seeds.mitigation);
+    run_experiment(
+        plan.config.geometry,
+        params,
+        cell.seeds.device,
+        workload.as_mut(),
+        mitigation.as_mut(),
+        cell.activations,
+        cell.auto_refresh_interval,
+    )
+}
+
+/// Execute `cells` on up to `threads` workers; results come back merged in
+/// cell order regardless of which worker ran what.
+pub fn execute_cells(plan: &SweepPlan, cells: &[CellSpec], threads: usize) -> Vec<RunResult> {
+    let threads = threads.max(1).min(cells.len().max(1));
+    if threads == 1 {
+        return cells.iter().map(|cell| run_cell(plan, cell)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let result = run_cell(plan, cell);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell executed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepConfig;
+
+    fn tiny_plan() -> SweepPlan {
+        let cfg = SweepConfig {
+            activations: 3_000,
+            hc_firsts: vec![500, 1000],
+            sides: vec![4],
+            geometry: rh_core::Geometry::tiny(64),
+            ..SweepConfig::default()
+        };
+        SweepPlan::from_config(&cfg).unwrap()
+    }
+
+    fn flat(results: &[RunResult]) -> Vec<(String, String, u64, u64)> {
+        results
+            .iter()
+            .map(|r| {
+                (
+                    r.workload.clone(),
+                    r.mitigation.clone(),
+                    r.total_flips,
+                    r.refreshes_issued,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_execution_matches_serial_in_order() {
+        let plan = tiny_plan();
+        let serial = execute_cells(&plan, &plan.grid, 1);
+        for threads in [2, 3, 8] {
+            let sharded = execute_cells(&plan, &plan.grid, threads);
+            assert_eq!(flat(&serial), flat(&sharded), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_count_larger_than_cells_is_fine() {
+        let plan = tiny_plan();
+        let cells = &plan.para_sweep;
+        let results = execute_cells(&plan, cells, 64);
+        assert_eq!(results.len(), cells.len());
+    }
+
+    #[test]
+    fn empty_cell_list_yields_empty_results() {
+        let plan = tiny_plan();
+        assert!(execute_cells(&plan, &[], 4).is_empty());
+    }
+}

@@ -59,20 +59,28 @@ fn result_array(results: &[RunResult]) -> String {
 }
 
 /// Render a full [`SweepOutput`] as a pretty-printed JSON document.
+///
+/// Note the config section deliberately excludes execution options like the
+/// thread count: the document must be a pure function of the sweep config so
+/// sharded and serial runs diff clean.
 pub fn render(out: &SweepOutput) -> String {
     let cfg = &out.config;
     let hc_list: Vec<String> = cfg.hc_firsts.iter().map(|h| h.to_string()).collect();
+    let sides_list: Vec<String> = cfg.sides.iter().map(|s| s.to_string()).collect();
     let p_list: Vec<String> = cfg.para_probabilities.iter().map(|p| num(*p)).collect();
     format!(
         "{{\n  \"config\": {{\"seed\": {}, \"activations\": {}, \"hc_firsts\": [{}], \
-         \"para_probabilities\": [{}], \"benign_fraction\": {}, \
+         \"sides\": [{}], \"para_probabilities\": [{}], \"benign_fraction\": {}, \
+         \"refresh_interval\": {}, \
          \"geometry\": {{\"channels\": {}, \"ranks\": {}, \"banks\": {}, \"rows_per_bank\": {}}}}},\n  \
          \"grid\": {},\n  \"para_sweep\": {},\n  \"para_monotone\": {}\n}}",
         cfg.seed,
         cfg.activations,
         hc_list.join(", "),
+        sides_list.join(", "),
         p_list.join(", "),
         num(cfg.benign_fraction),
+        cfg.auto_refresh_interval,
         cfg.geometry.channels,
         cfg.geometry.ranks,
         cfg.geometry.banks,
@@ -96,7 +104,28 @@ mod tests {
     #[test]
     fn non_finite_floats_become_null() {
         assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NEG_INFINITY), "null");
         assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(-0.25), "-0.25");
+    }
+
+    #[test]
+    fn non_finite_metrics_never_emit_invalid_json() {
+        let r = RunResult {
+            workload: "w".into(),
+            mitigation: "m".into(),
+            hc_first: 1,
+            activations: 0,
+            total_flips: 0,
+            flipped_rows: 0,
+            flips_per_mact: f64::NAN,
+            refreshes_issued: 0,
+        };
+        let s = run_result(&r, "");
+        assert!(s.contains("\"flips_per_mact\": null"));
+        assert!(!s.contains("NaN") && !s.contains("inf"));
     }
 
     #[test]

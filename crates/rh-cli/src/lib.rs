@@ -1,15 +1,23 @@
 //! # rh-cli — sweep driver and reporting layer
 //!
 //! Top of the workspace: couples the three lower layers and reproduces the
-//! paper's core experiment loop. [`engine`] drives a workload's activation
-//! stream through a mitigation into the device model; [`sweep`] runs the
-//! `HC_first` × mitigation × workload grid plus a PARA sampling-probability
-//! sweep; [`json`] renders results as a JSON table (the shape of the
-//! paper's Figures 7–9: bit-flip rate vs. hammer count per mitigation).
+//! paper's core experiment loop as a **plan → shard → execute → merge**
+//! pipeline. [`plan`] expands a declarative [`SweepConfig`] into a flat list
+//! of order-independent cells (serializable workload/mitigation specs plus
+//! seeds derived in `rh-core` from the root seed and cell coordinates);
+//! [`exec`] shards the cells across scoped worker threads and merges results
+//! back into plan order, so any `--threads` value emits byte-identical JSON;
+//! [`engine`] drives one cell's activation stream through a mitigation into
+//! the device model; [`json`] renders results as a JSON table (the shape of
+//! the paper's Figures 7–9: bit-flip rate vs. hammer count per mitigation).
 
+pub mod cli;
 pub mod engine;
+pub mod exec;
 pub mod json;
+pub mod plan;
 pub mod sweep;
 
 pub use engine::{run_experiment, RunResult};
+pub use plan::{CellSeeds, CellSpec, SweepPlan};
 pub use sweep::{run_sweep, SweepConfig, SweepOutput};

@@ -1,118 +1,35 @@
 //! `rh-cli` — run the RowHammer mitigation sweep and print a JSON table.
 //!
-//! Usage:
-//! ```text
-//! rh-cli sweep [--seed N] [--activations N] [--hc A,B,C,...]
-//!              [--para-p P1,P2,...] [--benign-fraction F]
-//! ```
+//! Thin binary shell: parsing lives in [`rh_cli::cli`] and the pipeline in
+//! the library so both are unit-testable. See `rh-cli --help` for options.
 
-use rh_cli::{json, run_sweep, SweepConfig};
+use rh_cli::cli::{parse_args, Invocation, USAGE};
+use rh_cli::{json, run_sweep};
 use std::process::ExitCode;
-
-const USAGE: &str = "\
-rh-cli — RowHammer mitigation sweep (Kim et al., ISCA 2020 reproduction)
-
-USAGE:
-    rh-cli sweep [OPTIONS]
-
-OPTIONS:
-    --seed <N>              RNG seed for device + mitigations (default 0xC0FFEE)
-    --activations <N>       activation budget per experiment cell (default 200000)
-    --hc <A,B,...>          HC_first values to sweep (default 2000,4000,8000,16000)
-    --para-p <P1,P2,...>    PARA sampling probabilities (default 0.0,0.001,0.004,0.016)
-    --benign-fraction <F>   fraction of benign traffic mixed in (default 0.1)
-    -h, --help              print this help
-";
-
-fn parse_list<T: std::str::FromStr>(s: &str, flag: &str) -> Result<Vec<T>, String> {
-    s.split(',')
-        .map(|x| {
-            x.trim()
-                .parse::<T>()
-                .map_err(|_| format!("invalid value '{x}' for {flag}"))
-        })
-        .collect()
-}
-
-fn parse_args(args: &[String]) -> Result<SweepConfig, String> {
-    let mut cfg = SweepConfig::default();
-    let mut i = 0;
-    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
-        *i += 1;
-        args.get(*i)
-            .cloned()
-            .ok_or_else(|| format!("{flag} requires a value"))
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                let v = value(&mut i, "--seed")?;
-                cfg.seed = parse_u64_maybe_hex(&v).ok_or(format!("invalid --seed '{v}'"))?;
-            }
-            "--activations" => {
-                let v = value(&mut i, "--activations")?;
-                cfg.activations = v
-                    .parse()
-                    .map_err(|_| format!("invalid --activations '{v}'"))?;
-            }
-            "--hc" => cfg.hc_firsts = parse_list(&value(&mut i, "--hc")?, "--hc")?,
-            "--para-p" => {
-                cfg.para_probabilities = parse_list(&value(&mut i, "--para-p")?, "--para-p")?;
-            }
-            "--benign-fraction" => {
-                let v = value(&mut i, "--benign-fraction")?;
-                cfg.benign_fraction = v
-                    .parse()
-                    .map_err(|_| format!("invalid --benign-fraction '{v}'"))?;
-            }
-            other => return Err(format!("unknown option '{other}'")),
-        }
-        i += 1;
-    }
-    if cfg.hc_firsts.is_empty() {
-        return Err("--hc requires at least one value".to_string());
-    }
-    if cfg.hc_firsts.contains(&0) {
-        return Err("--hc values must be positive".to_string());
-    }
-    if let Some(p) = cfg
-        .para_probabilities
-        .iter()
-        .find(|p| !(0.0..=1.0).contains(*p))
-    {
-        return Err(format!("--para-p value {p} must be in [0, 1]"));
-    }
-    if !(0.0..=1.0).contains(&cfg.benign_fraction) {
-        return Err(format!(
-            "--benign-fraction {} must be in [0, 1]",
-            cfg.benign_fraction
-        ));
-    }
-    Ok(cfg)
-}
-
-fn parse_u64_maybe_hex(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => match parse_args(&args[1..]) {
-            Ok(cfg) => {
-                let out = run_sweep(&cfg);
-                println!("{}", json::render(&out));
-                if out.para_monotone {
-                    ExitCode::SUCCESS
-                } else {
-                    eprintln!("error: PARA flip counts were not monotone in p");
+            Ok(Invocation::Help) => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Ok(Invocation::Sweep(a)) => match run_sweep(&a.config, a.threads) {
+                Ok(out) => {
+                    println!("{}", json::render(&out));
+                    if out.para_monotone {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("error: PARA flip counts were not monotone in p");
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
                     ExitCode::FAILURE
                 }
-            }
+            },
             Err(e) => {
                 eprintln!("error: {e}\n\n{USAGE}");
                 ExitCode::FAILURE

@@ -1,10 +1,13 @@
-//! The paper's experiment grid: `HC_first` × mitigation × workload, plus a
-//! PARA sampling-probability sweep with common random numbers.
+//! The paper's experiment grid, rebuilt as a plan → shard → execute → merge
+//! pipeline: [`SweepConfig`] is declarative user input, [`crate::plan`]
+//! expands it into order-independent cells, [`crate::exec`] runs them across
+//! threads, and [`run_sweep`] merges everything into a [`SweepOutput`] that
+//! is a pure function of the config (thread count never changes the bytes).
 
-use crate::engine::{run_experiment, RunResult};
-use rh_core::{Geometry, RowAddr, VictimModelParams};
-use rh_mitigations::{Graphene, IncreasedRefresh, Mitigation, NoMitigation, Para};
-use rh_workloads::{BenignMixer, DoubleSided, ManySided, SingleSided, Workload};
+use crate::engine::RunResult;
+use crate::exec::execute_cells;
+use crate::plan::SweepPlan;
+use rh_core::Geometry;
 
 /// Configuration of one full sweep.
 #[derive(Debug, Clone)]
@@ -15,10 +18,15 @@ pub struct SweepConfig {
     /// `HC_first` values to sweep (the paper's generational axis:
     /// DDR3-old ≈ 139k down to the weakest chip ≈ 4.8k).
     pub hc_firsts: Vec<u64>,
+    /// Aggressor counts for the many-sided (TRRespass-style) workload axis.
+    pub sides: Vec<usize>,
     /// PARA sampling probabilities for the monotonicity sweep.
     pub para_probabilities: Vec<f64>,
     /// Fraction of benign traffic mixed into every attack stream.
     pub benign_fraction: f64,
+    /// Periodic full-device refresh (the tREFW window) in activations;
+    /// 0 disables auto-refresh entirely.
+    pub auto_refresh_interval: u64,
     pub geometry: Geometry,
 }
 
@@ -28,8 +36,14 @@ impl Default for SweepConfig {
             seed: 0xC0FFEE,
             activations: 200_000,
             hc_firsts: vec![2_000, 4_000, 8_000, 16_000],
+            sides: vec![2, 4, 8, 16],
             para_probabilities: vec![0.0, 0.001, 0.004, 0.016],
             benign_fraction: 0.1,
+            // A tREFW window that separates the regimes: at the top of the
+            // default HC_first axis one window cannot accumulate enough
+            // disturbance even many-sided, while at the bottom it easily can
+            // — reproducing the paper's "newer chips break deployed TRR".
+            auto_refresh_interval: 32_000,
             geometry: Geometry {
                 channels: 1,
                 ranks: 1,
@@ -40,124 +54,99 @@ impl Default for SweepConfig {
     }
 }
 
+/// Order-preserving deduplication.
+fn dedup_in_order<T: PartialEq + Copy>(values: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(values.len());
+    for &v in values {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+impl SweepConfig {
+    /// The canonical form of the config: duplicate axis values collapsed
+    /// (order-preserving for `hc_firsts`/`sides`) and PARA probabilities
+    /// sorted ascending so the monotonicity sweep runs along the physical
+    /// axis. Called in exactly one place — [`SweepPlan::from_config`],
+    /// which carries the result in its `config` field for reporters — so
+    /// the emitted config always describes exactly the grid that ran.
+    pub fn normalized(&self) -> Self {
+        let mut para_probabilities = dedup_in_order(&self.para_probabilities);
+        para_probabilities.sort_by(|a, b| a.total_cmp(b));
+        Self {
+            hc_firsts: dedup_in_order(&self.hc_firsts),
+            sides: dedup_in_order(&self.sides),
+            para_probabilities,
+            ..self.clone()
+        }
+    }
+
+    /// Semantic validation shared by the CLI and [`SweepPlan::from_config`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.activations == 0 {
+            return Err("activations must be at least 1".to_string());
+        }
+        if self.hc_firsts.is_empty() {
+            return Err("at least one HC_first value is required".to_string());
+        }
+        if self.hc_firsts.contains(&0) {
+            return Err("HC_first values must be positive".to_string());
+        }
+        if let Some(s) = self.sides.iter().find(|&&s| s < 2) {
+            return Err(format!("many-sided aggressor count {s} must be at least 2"));
+        }
+        if self.para_probabilities.is_empty() {
+            return Err("at least one PARA probability is required".to_string());
+        }
+        if let Some(p) = self
+            .para_probabilities
+            .iter()
+            .find(|p| !(0.0..=1.0).contains(*p))
+        {
+            return Err(format!("PARA probability {p} must be in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.benign_fraction) {
+            return Err(format!(
+                "benign fraction {} must be in [0, 1]",
+                self.benign_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// All results of one sweep invocation.
 #[derive(Debug, Clone)]
 pub struct SweepOutput {
     pub config: SweepConfig,
     /// The main grid: every (hc_first, workload, mitigation) cell.
     pub grid: Vec<RunResult>,
-    /// PARA sweep at the lowest `HC_first`, double-sided workload.
+    /// PARA sweep at the lowest `HC_first`, double-sided workload, in
+    /// ascending-probability order.
     pub para_sweep: Vec<RunResult>,
     /// Whether flips were non-increasing in PARA's sampling probability.
     pub para_monotone: bool,
 }
 
-const BLAST_RADIUS: u32 = 2;
-const PARA_SALT: u64 = 0x5A17;
-
-const WORKLOAD_COUNT: usize = 3;
-/// Index of the double-sided workload in [`make_workload`]; the PARA
-/// monotonicity sweep reuses it so both see the same activation stream.
-const DOUBLE_SIDED: usize = 1;
-
-/// Build one of the sweep's workloads. A single constructor (rather than a
-/// per-call-site copy) guarantees the PARA sweep and the grid use identical
-/// streams: same victim, same benign fraction, same per-workload RNG salt.
-fn make_workload(cfg: &SweepConfig, i: usize) -> Box<dyn Workload> {
-    let geom = cfg.geometry;
-    assert!(
-        geom.rows_per_bank >= 32,
-        "sweep geometry needs at least 32 rows per bank"
-    );
-    // A mid-bank victim far from edges; identical across cells so results
-    // are comparable along the HC_first and mitigation axes.
-    let victim = RowAddr::bank_row(0, geom.rows_per_bank / 2);
-    let (attack, salt): (Box<dyn Workload>, u64) = match i {
-        0 => (Box::new(SingleSided::targeting(victim)), 0x51),
-        DOUBLE_SIDED => (Box::new(DoubleSided::targeting(victim, &geom)), 0xD5),
-        2 => (
-            Box::new(ManySided::new(victim.with_row(victim.row - 8), 4, &geom)),
-            0x3A,
-        ),
-        _ => unreachable!("workload index out of range"),
-    };
-    Box::new(BenignMixer::new(
-        attack,
-        cfg.benign_fraction,
-        geom,
-        cfg.seed ^ salt,
-    ))
-}
-
-const MITIGATION_COUNT: usize = 4;
-
-fn make_mitigation(cfg: &SweepConfig, hc_first: u64, i: usize) -> Box<dyn Mitigation> {
-    match i {
-        0 => Box::new(NoMitigation),
-        1 => Box::new(Para::new(0.004, BLAST_RADIUS, cfg.seed ^ PARA_SALT)),
-        2 => Box::new(Graphene::new(16, (hc_first / 4).max(1), BLAST_RADIUS)),
-        3 => Box::new(IncreasedRefresh::new((hc_first / 2).max(1))),
-        _ => unreachable!("mitigation index out of range"),
-    }
-}
-
-/// Run the full grid plus the PARA sweep.
-pub fn run_sweep(cfg: &SweepConfig) -> SweepOutput {
-    let mut grid = Vec::new();
-    for &hc in &cfg.hc_firsts {
-        let params = VictimModelParams::with_hc_first(hc);
-        for wi in 0..WORKLOAD_COUNT {
-            for mi in 0..MITIGATION_COUNT {
-                // Fresh workload and mitigation per cell so every cell
-                // sees identical streams (same seeds, fresh state).
-                let mut w = make_workload(cfg, wi);
-                let mut m = make_mitigation(cfg, hc, mi);
-                grid.push(run_experiment(
-                    cfg.geometry,
-                    params,
-                    cfg.seed,
-                    w.as_mut(),
-                    m.as_mut(),
-                    cfg.activations,
-                    0,
-                ));
-            }
-        }
-    }
-
-    // PARA monotonicity sweep: lowest HC_first (hardest case), double-sided
-    // attack, common random numbers — same device seed, same PARA seed, and
-    // one RNG draw per activation regardless of outcome, so the sampled set
-    // at a lower p is a subset of the set at any higher p and the flip
-    // count is provably non-increasing in p.
-    let hc = *cfg.hc_firsts.iter().min().expect("non-empty hc_firsts");
-    let params = VictimModelParams::with_hc_first(hc);
-    // Evaluate in ascending p regardless of the order the user supplied, so
-    // the monotonicity check compares along the physical axis.
-    let mut probabilities = cfg.para_probabilities.clone();
-    probabilities.sort_by(|a, b| a.total_cmp(b));
-    let mut para_sweep = Vec::new();
-    for &p in &probabilities {
-        let mut w = make_workload(cfg, DOUBLE_SIDED);
-        let mut m = Para::new(p, BLAST_RADIUS, cfg.seed ^ PARA_SALT);
-        para_sweep.push(run_experiment(
-            cfg.geometry,
-            params,
-            cfg.seed,
-            &mut w,
-            &mut m,
-            cfg.activations,
-            0,
-        ));
-    }
+/// Plan the full grid plus the PARA sweep, execute the cells on up to
+/// `threads` workers, and merge results in plan order.
+pub fn run_sweep(cfg: &SweepConfig, threads: usize) -> Result<SweepOutput, String> {
+    let plan = SweepPlan::from_config(cfg)?;
+    let grid = execute_cells(&plan, &plan.grid, threads);
+    let para_sweep = execute_cells(&plan, &plan.para_sweep, threads);
+    // Monotone because all PARA cells share device, workload stream, and
+    // sampling RNG (common random numbers): the activations sampled at a
+    // lower p are a subset of those sampled at any higher p.
     let para_monotone = para_sweep
         .windows(2)
         .all(|w| w[1].total_flips <= w[0].total_flips);
 
-    SweepOutput {
-        config: cfg.clone(),
+    Ok(SweepOutput {
+        config: plan.config,
         grid,
         para_sweep,
         para_monotone,
-    }
+    })
 }

@@ -1,36 +1,52 @@
 //! End-to-end sweep tests over a reduced grid (kept small so the debug-mode
 //! test suite stays fast).
 
-use rh_cli::{run_sweep, SweepConfig};
+use rh_cli::{json, run_sweep, RunResult, SweepConfig, SweepOutput};
 use rh_core::Geometry;
 
+/// Reduced grid: 3 HC_first × (2 classic + 2 many-sided) × 5 mitigations,
+/// two tREFW windows per cell.
 fn small_config() -> SweepConfig {
     SweepConfig {
         seed: 0xBEEF,
-        activations: 30_000,
-        hc_firsts: vec![1_000, 2_000, 4_000, 8_000],
+        activations: 24_000,
+        hc_firsts: vec![1_000, 2_000, 8_000],
+        sides: vec![2, 8],
         para_probabilities: vec![0.0, 0.002, 0.008, 0.032],
         benign_fraction: 0.1,
+        auto_refresh_interval: 12_000,
         geometry: Geometry::tiny(4096),
     }
 }
 
+fn small_sweep() -> SweepOutput {
+    run_sweep(&small_config(), 1).expect("small config is valid")
+}
+
 #[test]
 fn sweep_covers_full_grid() {
-    let out = run_sweep(&small_config());
-    // 4 HC_first x 3 workloads x 4 mitigations (baseline + 3 real ones).
-    assert_eq!(out.grid.len(), 4 * 3 * 4);
+    let out = small_sweep();
+    // 3 HC_first x 4 workloads x 5 mitigations.
+    assert_eq!(out.grid.len(), 3 * 4 * 5);
     let workloads: std::collections::HashSet<_> =
         out.grid.iter().map(|r| r.workload.clone()).collect();
-    assert_eq!(workloads.len(), 3);
+    assert_eq!(workloads.len(), 4);
     let mitigations: std::collections::HashSet<_> =
         out.grid.iter().map(|r| r.mitigation.clone()).collect();
-    assert!(mitigations.len() >= 4);
+    assert!(mitigations.len() >= 5);
+}
+
+#[test]
+fn threads_do_not_change_the_bytes() {
+    let cfg = small_config();
+    let serial = json::render(&run_sweep(&cfg, 1).unwrap());
+    let sharded = json::render(&run_sweep(&cfg, 8).unwrap());
+    assert_eq!(serial, sharded, "sharded sweep must be byte-identical");
 }
 
 #[test]
 fn para_flips_monotone_and_actually_decreasing() {
-    let out = run_sweep(&small_config());
+    let out = small_sweep();
     assert!(out.para_monotone, "flips must be non-increasing in PARA p");
     let flips: Vec<u64> = out.para_sweep.iter().map(|r| r.total_flips).collect();
     assert!(
@@ -41,7 +57,7 @@ fn para_flips_monotone_and_actually_decreasing() {
 
 #[test]
 fn unmitigated_flips_grow_as_hc_first_drops() {
-    let out = run_sweep(&small_config());
+    let out = small_sweep();
     // For the double-sided workload with no mitigation, a weaker device
     // (lower HC_first) must flip at least as many bits.
     let mut baseline: Vec<(u64, u64)> = out
@@ -51,7 +67,7 @@ fn unmitigated_flips_grow_as_hc_first_drops() {
         .map(|r| (r.hc_first, r.total_flips))
         .collect();
     baseline.sort();
-    assert_eq!(baseline.len(), 4);
+    assert_eq!(baseline.len(), 3);
     for pair in baseline.windows(2) {
         assert!(
             pair[0].1 >= pair[1].1,
@@ -63,7 +79,7 @@ fn unmitigated_flips_grow_as_hc_first_drops() {
 
 #[test]
 fn mitigations_reduce_flips_versus_baseline() {
-    let out = run_sweep(&small_config());
+    let out = small_sweep();
     let hc = 1_000;
     let flips_of = |mit_prefix: &str| -> u64 {
         out.grid
@@ -80,26 +96,119 @@ fn mitigations_reduce_flips_versus_baseline() {
     assert!(none > 0);
     assert!(flips_of("graphene") < none, "graphene must beat baseline");
     assert!(flips_of("refresh") < none, "refresh must beat baseline");
+    assert!(
+        flips_of("trr") < none,
+        "TRR must hold against the double-sided attack it was designed for"
+    );
+}
+
+/// The paper's (and TRRespass's) headline mitigation finding: deployed
+/// small-table TRR collapses once many-sided patterns exceed its per-window
+/// refresh budget at low HC_first, while an adequately provisioned Graphene
+/// keeps the device flip-free under the identical stream.
+#[test]
+fn trr_collapses_under_many_sided_while_graphene_holds() {
+    let out = small_sweep();
+    let hc_min = *small_config().hc_firsts.iter().min().unwrap();
+    let wide_cells: Vec<&RunResult> = out
+        .grid
+        .iter()
+        .filter(|r| r.hc_first == hc_min && r.workload.starts_with("many_sided(n=8)"))
+        .collect();
+    assert!(!wide_cells.is_empty());
+    let trr = wide_cells
+        .iter()
+        .find(|r| r.mitigation.starts_with("trr(k=16"))
+        .expect("TRR cell present");
+    assert!(
+        trr.total_flips > 0,
+        "16-entry TRR must fail under 8-sided hammering at HC_first={hc_min}"
+    );
+    let graphene = wide_cells
+        .iter()
+        .find(|r| r.mitigation.starts_with("graphene"))
+        .expect("graphene cell present");
+    assert_eq!(
+        graphene.total_flips, 0,
+        "adequately-sized graphene must keep the device flip-free"
+    );
+}
+
+/// TRR's failure is HC_first-dependent: at the top of the axis one refresh
+/// window cannot accumulate enough disturbance, so the same TRR that fails
+/// on weak devices protects strong ones — the generational story.
+#[test]
+fn trr_failure_appears_only_at_low_hc_first() {
+    let out = small_sweep();
+    let trr_flips = |hc: u64| -> u64 {
+        out.grid
+            .iter()
+            .filter(|r| {
+                r.hc_first == hc
+                    && r.workload.starts_with("many_sided(n=8)")
+                    && r.mitigation.starts_with("trr")
+            })
+            .map(|r| r.total_flips)
+            .sum()
+    };
+    assert!(trr_flips(1_000) > 0, "weak device must break TRR");
+    assert_eq!(trr_flips(8_000), 0, "strong device must survive TRR-only");
 }
 
 #[test]
 fn sweep_adapts_victim_to_small_geometries() {
     // The victim row is derived from the geometry, so a small bank must
-    // run without panicking (rows 2047–2049 used to index out of bounds).
+    // run without panicking.
     let cfg = SweepConfig {
         activations: 2_000,
         hc_firsts: vec![500],
         geometry: Geometry::tiny(64),
         ..small_config()
     };
-    let out = run_sweep(&cfg);
-    assert_eq!(out.grid.len(), 12);
+    let out = run_sweep(&cfg, 2).unwrap();
+    assert_eq!(out.grid.len(), 4 * 5);
+}
+
+#[test]
+fn output_config_reflects_executed_grid() {
+    // Duplicate axis values collapse at normalization time, and the output
+    // reports the normalized config — so a consumer can always derive the
+    // grid shape from the config section.
+    let cfg = SweepConfig {
+        activations: 1_000,
+        hc_firsts: vec![500, 500, 800],
+        sides: vec![4, 4],
+        para_probabilities: vec![0.01, 0.0, 0.01],
+        geometry: Geometry::tiny(64),
+        ..small_config()
+    };
+    let out = run_sweep(&cfg, 2).unwrap();
+    assert_eq!(out.config.hc_firsts, vec![500, 800]);
+    assert_eq!(out.config.sides, vec![4]);
+    assert_eq!(out.config.para_probabilities, vec![0.0, 0.01]);
+    assert_eq!(out.grid.len(), 2 * 3 * 5);
+    assert_eq!(out.para_sweep.len(), 2);
+}
+
+#[test]
+fn invalid_configs_are_rejected_not_paniced() {
+    let mut cfg = small_config();
+    cfg.activations = 0;
+    assert!(run_sweep(&cfg, 1).is_err());
+
+    let mut cfg = small_config();
+    cfg.sides = vec![4096];
+    assert!(run_sweep(&cfg, 1).is_err(), "oversized pattern must error");
+
+    let mut cfg = small_config();
+    cfg.para_probabilities.clear();
+    assert!(run_sweep(&cfg, 1).is_err());
 }
 
 #[test]
 fn sweep_is_deterministic() {
-    let a = run_sweep(&small_config());
-    let b = run_sweep(&small_config());
+    let a = run_sweep(&small_config(), 1).unwrap();
+    let b = run_sweep(&small_config(), 1).unwrap();
     let fa: Vec<u64> = a.grid.iter().map(|r| r.total_flips).collect();
     let fb: Vec<u64> = b.grid.iter().map(|r| r.total_flips).collect();
     assert_eq!(fa, fb);

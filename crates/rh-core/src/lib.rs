@@ -23,4 +23,4 @@ pub mod rng;
 
 pub use device::{DeviceState, VictimModelParams};
 pub use geometry::{Geometry, RowAddr};
-pub use rng::SplitMix64;
+pub use rng::{derive_seed, SplitMix64};

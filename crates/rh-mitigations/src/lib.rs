@@ -18,14 +18,25 @@
 //! * [`IncreasedRefresh`] — shorten the effective refresh window by issuing
 //!   full-device refreshes every `interval` activations; the paper shows
 //!   this scales worst as `HC_first` drops.
+//! * [`Trr`] — sampling-window Target Row Refresh: per-bank Misra–Gries
+//!   tables with a small per-window targeted-refresh budget, the deployed
+//!   mechanism that many-sided (TRRespass-style) patterns defeat.
+//!
+//! [`MitigationSpec`] is the serializable factory form of all of the above:
+//! sweep plans carry specs, and executor threads build fresh instances per
+//! cell so sharded runs stay deterministic.
 
 pub mod graphene;
 pub mod para;
 pub mod refresh;
+pub mod spec;
+pub mod trr;
 
 pub use graphene::Graphene;
 pub use para::Para;
 pub use refresh::IncreasedRefresh;
+pub use spec::MitigationSpec;
+pub use trr::Trr;
 
 use rh_core::{Geometry, RowAddr};
 

@@ -1,0 +1,143 @@
+//! Serializable mitigation specifications.
+//!
+//! A [`MitigationSpec`] is the declarative identity of a mitigation cell in
+//! a sweep plan: plain data (no RNG, no tables) that can be compared and
+//! expanded into a fresh [`Mitigation`] instance any number of times; the
+//! built instance's `name()` is the single source of display strings. The sweep planner builds a
+//! flat list of cells out of specs; executor threads materialize each cell's
+//! mitigation locally via [`MitigationSpec::build`], so no mitigation state
+//! ever crosses a thread boundary and sharded runs stay bit-identical.
+//!
+//! Threshold-style parameters are expressed as divisors of `HC_first`
+//! (e.g. `threshold_divisor: 8` → trigger at `hc_first / 8`) because the
+//! paper configures every mechanism relative to the chip's vulnerability:
+//! the same spec is reused across the whole `HC_first` axis.
+
+use crate::{Graphene, IncreasedRefresh, Mitigation, NoMitigation, Para, Trr};
+
+/// Declarative description of one mitigation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MitigationSpec {
+    /// Baseline: periodic auto-refresh only.
+    None,
+    /// PARA with the given sampling probability.
+    Para { probability: f64 },
+    /// Graphene-style Misra–Gries counters; triggers at
+    /// `hc_first / threshold_divisor` estimated activations.
+    Graphene {
+        table_size: usize,
+        threshold_divisor: u64,
+    },
+    /// Full-device refresh every `hc_first / interval_divisor` activations.
+    IncreasedRefresh { interval_divisor: u64 },
+    /// Sampling-window TRR: per-bank tables of `table_size` entries,
+    /// `refresh_slots` targeted rows per bank every `sample_interval`
+    /// activations.
+    Trr {
+        table_size: usize,
+        refresh_slots: usize,
+        sample_interval: u64,
+    },
+}
+
+impl MitigationSpec {
+    /// Materialize a fresh mitigation instance for a device with the given
+    /// `hc_first`, neighbor-refresh `radius`, and RNG `seed` (only PARA is
+    /// stochastic; the seed is ignored by deterministic mechanisms).
+    pub fn build(&self, hc_first: u64, radius: u32, seed: u64) -> Box<dyn Mitigation> {
+        match *self {
+            Self::None => Box::new(NoMitigation),
+            Self::Para { probability } => Box::new(Para::new(probability, radius, seed)),
+            Self::Graphene {
+                table_size,
+                threshold_divisor,
+            } => Box::new(Graphene::new(
+                table_size,
+                (hc_first / threshold_divisor).max(1),
+                radius,
+            )),
+            Self::IncreasedRefresh { interval_divisor } => {
+                Box::new(IncreasedRefresh::new((hc_first / interval_divisor).max(1)))
+            }
+            Self::Trr {
+                table_size,
+                refresh_slots,
+                sample_interval,
+            } => Box::new(Trr::new(table_size, refresh_slots, sample_interval, radius)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_names_are_stable_and_distinct() {
+        let specs = [
+            MitigationSpec::None,
+            MitigationSpec::Para { probability: 0.004 },
+            MitigationSpec::Graphene {
+                table_size: 64,
+                threshold_divisor: 8,
+            },
+            MitigationSpec::IncreasedRefresh {
+                interval_divisor: 2,
+            },
+            MitigationSpec::Trr {
+                table_size: 16,
+                refresh_slots: 2,
+                sample_interval: 1000,
+            },
+        ];
+        let names: std::collections::HashSet<String> =
+            specs.iter().map(|s| s.build(2000, 2, 0).name()).collect();
+        assert_eq!(names.len(), specs.len());
+        assert!(names.contains("trr(k=16,slots=2,w=1000)"));
+        assert!(names.contains("graphene(k=64,t=250)"));
+    }
+
+    #[test]
+    fn build_resolves_hc_relative_parameters() {
+        let m = MitigationSpec::Graphene {
+            table_size: 4,
+            threshold_divisor: 8,
+        }
+        .build(4000, 2, 0);
+        assert_eq!(m.name(), "graphene(k=4,t=500)");
+        let m = MitigationSpec::IncreasedRefresh {
+            interval_divisor: 2,
+        }
+        .build(4000, 2, 0);
+        assert_eq!(m.name(), "refresh(interval=2000)");
+    }
+
+    #[test]
+    fn build_clamps_degenerate_thresholds() {
+        // hc_first below the divisor must not build a zero threshold.
+        let m = MitigationSpec::Graphene {
+            table_size: 4,
+            threshold_divisor: 8,
+        }
+        .build(3, 1, 0);
+        assert_eq!(m.name(), "graphene(k=4,t=1)");
+    }
+
+    #[test]
+    fn built_instances_are_independent() {
+        let spec = MitigationSpec::Trr {
+            table_size: 4,
+            refresh_slots: 1,
+            sample_interval: 10,
+        };
+        let geom = rh_core::Geometry::tiny(16);
+        let addr = rh_core::RowAddr::bank_row(0, 8);
+        let mut a = spec.build(1000, 1, 0);
+        for _ in 0..5 {
+            a.on_activate(addr, &geom);
+        }
+        // A second build starts from scratch: no shared state.
+        let mut b = spec.build(1000, 1, 0);
+        assert!(b.on_activate(addr, &geom).is_empty());
+    }
+}

@@ -8,6 +8,12 @@
 //!
 //! A [`Workload`] is an infinite deterministic iterator over [`RowAddr`]s;
 //! the engine in `rh-cli` pulls a fixed budget of activations from it.
+//! [`WorkloadSpec`] is the serializable factory form carried by sweep plans:
+//! executor threads expand a spec into a fresh stream per cell.
+
+pub mod spec;
+
+pub use spec::WorkloadSpec;
 
 use rh_core::{Geometry, RowAddr, SplitMix64};
 
