@@ -1,0 +1,332 @@
+//! `rh-cli bench` — the dependency-free benchmark harness that proves the
+//! hot-path optimizations.
+//!
+//! The harness runs a **pinned reference sweep** — a realistic DDR4-class
+//! geometry (16 banks × 32K rows/bank) across `HC_first ∈ {4096, 512, 128}`
+//! (the paper's Section 8 generational→projected axis, where mitigation
+//! overheads explode as chips weaken), all five mitigation arms, three
+//! attack patterns, 2M activations per cell — twice through the identical
+//! engine loop:
+//!
+//! * **legacy**: the retained pre-optimization path — a fresh
+//!   [`EagerDeviceState`] per cell (thresholds re-derived, eager
+//!   O(total_rows) `refresh_all` zeroing, per-activation `powi`, full-scan
+//!   flip-row counting) with a fresh action buffer per cell;
+//! * **optimized**: the shipping path — `Arc`-shared [`DeviceTables`],
+//!   epoch-based O(1) refresh, reused per-worker `DeviceState` + action
+//!   sink (exactly what `rh-cli sweep` executes).
+//!
+//! Both paths must produce **identical** `RunResult`s for every cell — this
+//! doubles as the benchmark's determinism/equivalence check, and the run
+//! fails (non-zero exit) if it regresses. The report (`BENCH_3.json`)
+//! records per-cell and aggregate wall times, activations/sec for both
+//! paths, the speedup, and the peak single-cell activation rate.
+//!
+//! Both paths share the current mitigation implementations (only the
+//! device/engine side differs), so the reported speedup is a lower bound on
+//! the comparison against the actual pre-PR binary: any mitigation-internal
+//! improvement speeds up both sides equally.
+
+use crate::engine::{run_experiment, RunResult};
+use crate::exec::{build_table_cache, Worker};
+use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
+use crate::sweep::SweepConfig;
+use rh_core::{EagerDeviceState, Geometry, VictimModelParams};
+use rh_mitigations::ActionBuf;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Options for one benchmark invocation.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Shrink the reference sweep for CI smoke runs (same shape, ~1/64 of
+    /// the work: 4 banks × 8K rows, 100K activations/cell).
+    pub quick: bool,
+    /// Where to write the JSON report.
+    pub out_path: String,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            out_path: "BENCH_3.json".to_string(),
+        }
+    }
+}
+
+/// The pinned reference sweep. Everything is fixed — seed, geometry, axes —
+/// so successive benchmark runs (and CI runs across commits) measure the
+/// same simulated work.
+pub fn reference_config(quick: bool) -> SweepConfig {
+    SweepConfig {
+        seed: 0xBE7C4,
+        activations: if quick { 100_000 } else { 2_000_000 },
+        // The paper's generational→projected axis (Section 8 evaluates
+        // mitigations as HC_first drops toward 128): the low end is where
+        // increased-refresh-style mitigations become refresh-dominated —
+        // exactly the load the epoch-based O(1) refresh targets.
+        hc_firsts: vec![4096, 512, 128],
+        sides: vec![8],
+        para_probabilities: vec![0.004],
+        benign_fraction: 0.1,
+        auto_refresh_interval: 32_000,
+        geometry: if quick {
+            Geometry {
+                channels: 1,
+                ranks: 1,
+                banks: 4,
+                rows_per_bank: 8 * 1024,
+            }
+        } else {
+            // A realistic DDR4-class device: 16 banks × 32K rows/bank.
+            Geometry {
+                channels: 1,
+                ranks: 1,
+                banks: 16,
+                rows_per_bank: 32 * 1024,
+            }
+        },
+    }
+}
+
+/// Timing of one cell under both paths.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    pub workload: String,
+    pub mitigation: String,
+    pub legacy_secs: f64,
+    pub optimized_secs: f64,
+}
+
+/// Full benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    pub quick: bool,
+    pub geometry: Geometry,
+    pub activations_per_cell: u64,
+    pub cells: Vec<CellTiming>,
+    pub legacy_secs: f64,
+    pub optimized_secs: f64,
+    pub legacy_acts_per_sec: f64,
+    pub optimized_acts_per_sec: f64,
+    /// optimized_acts_per_sec / legacy_acts_per_sec.
+    pub speedup: f64,
+    /// Fastest single optimized cell, in activations/sec.
+    pub peak_cell_acts_per_sec: f64,
+    /// Whether every cell's results were identical across the two paths.
+    pub equivalent: bool,
+}
+
+/// Run one cell the pre-optimization way: fresh eager device (thresholds
+/// re-derived per cell), fresh action buffer, eager full-device refreshes.
+fn run_cell_legacy(plan: &SweepPlan, cell: &CellSpec) -> RunResult {
+    let params = VictimModelParams::with_hc_first(cell.hc_first);
+    let mut device = EagerDeviceState::new(plan.config.geometry, params, cell.seeds.device);
+    let mut workload = cell
+        .workload
+        .build(
+            &plan.config.geometry,
+            plan.config.benign_fraction,
+            cell.seeds.workload,
+        )
+        .expect("workloads are validated at plan time");
+    let mut mitigation = cell
+        .mitigation
+        .build(cell.hc_first, BLAST_RADIUS, cell.seeds.mitigation);
+    run_experiment(
+        &mut device,
+        workload.as_mut(),
+        mitigation.as_mut(),
+        cell.activations,
+        cell.auto_refresh_interval,
+        &mut ActionBuf::new(),
+    )
+}
+
+fn results_identical(a: &RunResult, b: &RunResult) -> bool {
+    a.workload == b.workload
+        && a.mitigation == b.mitigation
+        && a.hc_first == b.hc_first
+        && a.activations == b.activations
+        && a.total_flips == b.total_flips
+        && a.flipped_rows == b.flipped_rows
+        && a.flips_per_mact.to_bits() == b.flips_per_mact.to_bits()
+        && a.refreshes_issued == b.refreshes_issued
+}
+
+/// Run the reference sweep under both paths, timing each cell, and check
+/// the paths agree on every result.
+pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
+    let cfg = reference_config(opts.quick);
+    let plan = SweepPlan::from_config(&cfg)?;
+    let tables = build_table_cache(&plan, &plan.grid);
+    let mut worker = Worker::new();
+
+    // Warm up both paths on the first cell (page-faults the big vectors in)
+    // so the timed loop measures steady-state throughput.
+    let warm = &plan.grid[0];
+    let _ = run_cell_legacy(&plan, warm);
+    let _ = worker.run_cell(&plan, warm, &tables);
+
+    let mut cells = Vec::with_capacity(plan.grid.len());
+    let mut equivalent = true;
+    let mut legacy_secs = 0.0;
+    let mut optimized_secs = 0.0;
+    let mut peak = 0.0f64;
+    for cell in &plan.grid {
+        let t0 = Instant::now();
+        let legacy = run_cell_legacy(&plan, cell);
+        let lt = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let optimized = worker.run_cell(&plan, cell, &tables);
+        let ot = t1.elapsed().as_secs_f64();
+
+        if !results_identical(&legacy, &optimized) {
+            equivalent = false;
+            eprintln!(
+                "bench equivalence FAILED: {} / {} — legacy flips {} vs optimized {}",
+                legacy.workload, legacy.mitigation, legacy.total_flips, optimized.total_flips
+            );
+        }
+        legacy_secs += lt;
+        optimized_secs += ot;
+        peak = peak.max(cell.activations as f64 / ot);
+        cells.push(CellTiming {
+            workload: optimized.workload.clone(),
+            mitigation: optimized.mitigation.clone(),
+            legacy_secs: lt,
+            optimized_secs: ot,
+        });
+    }
+
+    let total_acts = (plan.grid.len() as u64 * cfg.activations) as f64;
+    let legacy_rate = total_acts / legacy_secs;
+    let optimized_rate = total_acts / optimized_secs;
+    Ok(BenchReport {
+        quick: opts.quick,
+        geometry: cfg.geometry,
+        activations_per_cell: cfg.activations,
+        cells,
+        legacy_secs,
+        optimized_secs,
+        legacy_acts_per_sec: legacy_rate,
+        optimized_acts_per_sec: optimized_rate,
+        speedup: optimized_rate / legacy_rate,
+        peak_cell_acts_per_sec: peak,
+        equivalent,
+    })
+}
+
+fn fnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the report as a JSON document (the `BENCH_3.json` artifact).
+pub fn render(report: &BenchReport) -> String {
+    let mut rows = String::new();
+    for (i, c) in report.cells.iter().enumerate() {
+        let sep = if i + 1 < report.cells.len() { "," } else { "" };
+        let _ = writeln!(
+            rows,
+            "    {{\"workload\": \"{}\", \"mitigation\": \"{}\", \
+             \"legacy_secs\": {}, \"optimized_secs\": {}, \"speedup\": {}}}{sep}",
+            c.workload,
+            c.mitigation,
+            fnum(c.legacy_secs),
+            fnum(c.optimized_secs),
+            fnum(c.legacy_secs / c.optimized_secs),
+        );
+    }
+    let g = &report.geometry;
+    format!(
+        "{{\n  \"bench\": \"reference sweep (hc_first in {{4096,512,128}}, all mitigations)\",\n  \
+         \"quick\": {},\n  \
+         \"geometry\": {{\"channels\": {}, \"ranks\": {}, \"banks\": {}, \"rows_per_bank\": {}}},\n  \
+         \"activations_per_cell\": {},\n  \
+         \"cells\": [\n{rows}  ],\n  \
+         \"legacy\": {{\"wall_secs\": {}, \"acts_per_sec\": {}}},\n  \
+         \"optimized\": {{\"wall_secs\": {}, \"acts_per_sec\": {}, \"peak_cell_acts_per_sec\": {}}},\n  \
+         \"speedup\": {},\n  \"equivalent\": {}\n}}",
+        report.quick,
+        g.channels,
+        g.ranks,
+        g.banks,
+        g.rows_per_bank,
+        report.activations_per_cell,
+        fnum(report.legacy_secs),
+        fnum(report.legacy_acts_per_sec),
+        fnum(report.optimized_secs),
+        fnum(report.optimized_acts_per_sec),
+        fnum(report.peak_cell_acts_per_sec),
+        fnum(report.speedup),
+        report.equivalent,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_configs_are_valid_plans() {
+        for quick in [true, false] {
+            let cfg = reference_config(quick);
+            let plan = SweepPlan::from_config(&cfg).expect("reference config must plan");
+            // 3 hc × (single + double + many-sided(8)) × 5 mitigations.
+            assert_eq!(plan.grid.len(), 45);
+        }
+    }
+
+    #[test]
+    fn legacy_and_optimized_paths_agree_on_a_small_cell() {
+        let mut cfg = reference_config(true);
+        cfg.activations = 20_000;
+        cfg.geometry = Geometry::tiny(1024);
+        let plan = SweepPlan::from_config(&cfg).unwrap();
+        let tables = build_table_cache(&plan, &plan.grid);
+        let mut worker = Worker::new();
+        for cell in &plan.grid {
+            let legacy = run_cell_legacy(&plan, cell);
+            let optimized = worker.run_cell(&plan, cell, &tables);
+            assert!(
+                results_identical(&legacy, &optimized),
+                "paths diverged on {} / {}",
+                legacy.workload,
+                legacy.mitigation
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders_valid_shape() {
+        let report = BenchReport {
+            quick: true,
+            geometry: Geometry::tiny(64),
+            activations_per_cell: 10,
+            cells: vec![CellTiming {
+                workload: "w".into(),
+                mitigation: "m".into(),
+                legacy_secs: 0.5,
+                optimized_secs: 0.1,
+            }],
+            legacy_secs: 0.5,
+            optimized_secs: 0.1,
+            legacy_acts_per_sec: 20.0,
+            optimized_acts_per_sec: 100.0,
+            speedup: 5.0,
+            peak_cell_acts_per_sec: 100.0,
+            equivalent: true,
+        };
+        let s = render(&report);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"speedup\": 5.000"));
+        assert!(s.contains("\"equivalent\": true"));
+        assert!(!s.contains("NaN"));
+    }
+}

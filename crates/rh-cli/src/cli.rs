@@ -4,6 +4,7 @@
 //! path is unit-testable. Parsing is purely syntactic; semantic validation
 //! is shared with programmatic callers via [`SweepConfig::validate`].
 
+use crate::bench::BenchOptions;
 use crate::sweep::SweepConfig;
 
 pub const USAGE: &str = "\
@@ -11,8 +12,9 @@ rh-cli — RowHammer mitigation sweep (Kim et al., ISCA 2020 reproduction)
 
 USAGE:
     rh-cli sweep [OPTIONS]
+    rh-cli bench [--quick] [--out <PATH>]
 
-OPTIONS:
+SWEEP OPTIONS:
     --seed <N>              RNG seed for device + mitigations (default 0xC0FFEE)
     --activations <N>       activation budget per experiment cell (default 200000)
     --hc <A,B,...>          HC_first values to sweep (default 2000,4000,8000,16000)
@@ -24,6 +26,14 @@ OPTIONS:
     --threads <N>           worker threads for cell execution; output is
                             byte-identical for any value (default: all cores)
     -h, --help              print this help
+
+BENCH OPTIONS:
+    --quick                 shrink the reference sweep for CI smoke runs
+    --out <PATH>            report path (default BENCH_3.json)
+
+bench times the pinned reference sweep under the optimized hot path and the
+retained pre-optimization (eager-refresh) path, verifies both produce
+identical results, and writes a JSON report with before/after throughput.
 ";
 
 /// Fully parsed invocation: the sweep config plus execution options that
@@ -40,6 +50,35 @@ pub enum Invocation {
     /// `-h`/`--help` appeared; print usage and exit successfully.
     Help,
     Sweep(CliArgs),
+}
+
+/// Outcome of parsing the arguments after `bench`.
+#[derive(Debug, Clone)]
+pub enum BenchInvocation {
+    Help,
+    Bench(BenchOptions),
+}
+
+/// Parse the arguments following the `bench` subcommand.
+pub fn parse_bench_args(args: &[String]) -> Result<BenchInvocation, String> {
+    let mut opts = BenchOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                i += 1;
+                opts.out_path = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "--out requires a value".to_string())?;
+            }
+            "-h" | "--help" => return Ok(BenchInvocation::Help),
+            other => return Err(format!("unknown bench option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(BenchInvocation::Bench(opts))
 }
 
 /// Parse a comma-separated list, skipping empty items (so trailing commas
@@ -260,6 +299,34 @@ mod tests {
                 "error for {args:?} was '{err}', expected to mention '{needle}'"
             );
         }
+    }
+
+    #[test]
+    fn bench_args_parse_and_reject() {
+        match parse_bench_args(&[]).unwrap() {
+            BenchInvocation::Bench(o) => {
+                assert!(!o.quick);
+                assert_eq!(o.out_path, "BENCH_3.json");
+            }
+            BenchInvocation::Help => panic!("unexpected help"),
+        }
+        let owned: Vec<String> = ["--quick", "--out", "x.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_bench_args(&owned).unwrap() {
+            BenchInvocation::Bench(o) => {
+                assert!(o.quick);
+                assert_eq!(o.out_path, "x.json");
+            }
+            BenchInvocation::Help => panic!("unexpected help"),
+        }
+        assert!(parse_bench_args(&["--out".to_string()]).is_err());
+        assert!(parse_bench_args(&["--bogus".to_string()]).is_err());
+        assert!(matches!(
+            parse_bench_args(&["--help".to_string()]),
+            Ok(BenchInvocation::Help)
+        ));
     }
 
     #[test]

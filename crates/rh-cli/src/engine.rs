@@ -7,9 +7,16 @@
 //! double as the unit of simulated time: the periodic auto-refresh that
 //! real DRAM performs every tREFW is modeled as a full-device refresh every
 //! `auto_refresh_interval` activations.
+//!
+//! The loop is allocation-free: the caller supplies the device (built once
+//! per worker thread and reset per cell), and one [`ActionBuf`] sink is
+//! cleared and refilled per activation instead of collecting a fresh `Vec`.
+//! The engine is generic over [`Device`] so the benchmark harness and
+//! differential tests can drive the retained eager reference implementation
+//! through the identical loop.
 
-use rh_core::{DeviceState, Geometry, VictimModelParams};
-use rh_mitigations::{Mitigation, MitigationAction};
+use rh_core::{Device, RowAddr};
+use rh_mitigations::{ActionBuf, Mitigation, MitigationAction};
 use rh_workloads::Workload;
 
 /// Outcome of a single experiment run.
@@ -25,28 +32,31 @@ pub struct RunResult {
     pub refreshes_issued: u64,
 }
 
-/// Drive `workload` through `mitigation` into a fresh device for
-/// `activations` steps.
+/// Drive `workload` through `mitigation` into `device` for `activations`
+/// steps, emitting mitigation actions into the reusable `actions` sink.
 ///
-/// `device_seed` fixes the per-row threshold jitter, so two runs with the
-/// same seed simulate byte-identical devices — the basis for
-/// common-random-number comparisons across mitigations.
-pub fn run_experiment(
-    geom: Geometry,
-    params: VictimModelParams,
-    device_seed: u64,
+/// The device must be freshly constructed or reset
+/// (`DeviceState::reset_for_cell`) — the engine accounts activations and
+/// flips from zero. Determinism: the result is a pure function of the
+/// device's tables/seed and the workload/mitigation construction seeds,
+/// which is the basis for common-random-number comparisons across
+/// mitigations and for byte-identical sharded sweeps.
+pub fn run_experiment<D: Device>(
+    device: &mut D,
     workload: &mut dyn Workload,
     mitigation: &mut dyn Mitigation,
     activations: u64,
     auto_refresh_interval: u64,
+    actions: &mut ActionBuf,
 ) -> RunResult {
-    let mut device = DeviceState::new(geom, params, device_seed);
+    let geom = *device.geometry();
     for step in 1..=activations {
-        let addr = workload.next_access();
-        let actions = mitigation.on_activate(addr, &geom);
+        let addr: RowAddr = workload.next_access();
+        actions.clear();
+        mitigation.on_activate(addr, &geom, actions);
         device.activate(addr);
-        for action in actions {
-            match action {
+        for action in actions.actions() {
+            match *action {
                 MitigationAction::RefreshRow(row) => device.refresh_row(row),
                 MitigationAction::RefreshAll => device.refresh_all(),
             }
@@ -59,7 +69,7 @@ pub fn run_experiment(
     RunResult {
         workload: workload.name(),
         mitigation: mitigation.name(),
-        hc_first: params.hc_first,
+        hc_first: device.params().hc_first,
         activations,
         total_flips: device.total_flips(),
         flipped_rows: device.flipped_rows(),
@@ -71,22 +81,62 @@ pub fn run_experiment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rh_core::RowAddr;
+    use rh_core::{DeviceState, EagerDeviceState, Geometry, VictimModelParams};
     use rh_mitigations::NoMitigation;
     use rh_workloads::SingleSided;
+
+    fn run(
+        geom: Geometry,
+        params: VictimModelParams,
+        activations: u64,
+        refresh_interval: u64,
+    ) -> RunResult {
+        let mut device = DeviceState::new(geom, params, 1);
+        let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
+        run_experiment(
+            &mut device,
+            &mut w,
+            &mut NoMitigation,
+            activations,
+            refresh_interval,
+            &mut ActionBuf::new(),
+        )
+    }
 
     #[test]
     fn unmitigated_hammer_flips_auto_refresh_prevents() {
         let geom = Geometry::tiny(64);
         let params = VictimModelParams::with_hc_first(1000);
 
-        let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
-        let r = run_experiment(geom, params, 1, &mut w, &mut NoMitigation, 5_000, 0);
+        let r = run(geom, params, 5_000, 0);
         assert!(r.total_flips > 0, "unmitigated hammering must flip bits");
 
         // Auto-refresh well below HC_first: no window accumulates enough.
-        let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
-        let r = run_experiment(geom, params, 1, &mut w, &mut NoMitigation, 5_000, 500);
+        let r = run(geom, params, 5_000, 500);
         assert_eq!(r.total_flips, 0);
+    }
+
+    fn drive<D: Device>(device: &mut D) -> RunResult {
+        let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
+        run_experiment(
+            device,
+            &mut w,
+            &mut NoMitigation,
+            5_000,
+            1_500,
+            &mut ActionBuf::new(),
+        )
+    }
+
+    #[test]
+    fn optimized_and_eager_devices_agree_through_the_engine() {
+        let geom = Geometry::tiny(64);
+        let params = VictimModelParams::with_hc_first(1000);
+        let a = drive(&mut DeviceState::new(geom, params, 1));
+        let b = drive(&mut EagerDeviceState::new(geom, params, 1));
+        assert_eq!(a.total_flips, b.total_flips);
+        assert_eq!(a.flipped_rows, b.flipped_rows);
+        assert_eq!(a.refreshes_issued, b.refreshes_issued);
+        assert!(a.total_flips > 0);
     }
 }

@@ -1,63 +1,135 @@
 //! Cell execution: shard a plan's cells across worker threads and merge
 //! results back into plan order.
 //!
-//! Cells are embarrassingly parallel — each one materializes its own device,
-//! workload, and mitigation from plain specs and seeds — so the executor is
+//! Cells are embarrassingly parallel — each one materializes its own
+//! workload and mitigation from plain specs and seeds — so the executor is
 //! a work-stealing loop over an atomic cursor: dependency-free, and immune
 //! to scheduling order because every result is written to its cell's slot
 //! and the merged vector is returned in plan order. `--threads 1` and
 //! `--threads N` therefore produce identical results, which the integration
 //! tests and the CI determinism job assert byte-for-byte on the JSON.
+//!
+//! Hot-path amortization across cells:
+//!
+//! * **Shared device tables**: the immutable seed-derived tables
+//!   ([`DeviceTables`]) are built once per distinct `(hc_first, device
+//!   seed)` pair up front and `Arc`-shared with every worker — the sweep's
+//!   common-random-number structure means all cells at one `HC_first` share
+//!   one table set instead of re-deriving O(total_rows) thresholds per cell.
+//! * **Per-worker device reuse**: each worker owns one [`DeviceState`] and
+//!   one [`ActionBuf`] for its whole shard, resetting them per cell
+//!   (`reset_for_cell`) instead of reallocating charge/activation/flip
+//!   vectors for every cell.
 
 use crate::engine::{run_experiment, RunResult};
 use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
-use rh_core::VictimModelParams;
+use rh_core::{DeviceState, DeviceTables, VictimModelParams};
+use rh_mitigations::ActionBuf;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// Run one cell: build its components from specs + seeds and drive the
-/// engine. Pure function of `(plan, cell)` — no shared state.
-fn run_cell(plan: &SweepPlan, cell: &CellSpec) -> RunResult {
-    let params = VictimModelParams::with_hc_first(cell.hc_first);
-    let mut workload = cell
-        .workload
-        .build(
-            &plan.config.geometry,
-            plan.config.benign_fraction,
-            cell.seeds.workload,
+/// Shared immutable tables per distinct `(hc_first, device_seed)` device.
+pub(crate) type TableCache = BTreeMap<(u64, u64), Arc<DeviceTables>>;
+
+/// Derive the tables every cell in the shard will need, exactly once each.
+pub(crate) fn build_table_cache(plan: &SweepPlan, cells: &[CellSpec]) -> TableCache {
+    let mut cache = TableCache::new();
+    for cell in cells {
+        cache
+            .entry((cell.hc_first, cell.seeds.device))
+            .or_insert_with(|| {
+                DeviceTables::shared(
+                    plan.config.geometry,
+                    VictimModelParams::with_hc_first(cell.hc_first),
+                    cell.seeds.device,
+                )
+                .expect("geometry is validated at plan time")
+            });
+    }
+    cache
+}
+
+/// One worker's reusable simulation state: a device whose buffers persist
+/// across the cells this worker executes, and the mitigation action sink.
+pub(crate) struct Worker {
+    device: Option<DeviceState>,
+    actions: ActionBuf,
+}
+
+impl Worker {
+    pub(crate) fn new() -> Self {
+        Self {
+            device: None,
+            actions: ActionBuf::new(),
+        }
+    }
+
+    /// Run one cell: build workload + mitigation from specs and seeds, reuse
+    /// the worker's device. The result is a pure function of `(plan, cell)`
+    /// — reuse never leaks state between cells (`reset_for_cell` is asserted
+    /// equivalent to fresh construction in rh-core's tests).
+    pub(crate) fn run_cell(
+        &mut self,
+        plan: &SweepPlan,
+        cell: &CellSpec,
+        tables: &TableCache,
+    ) -> RunResult {
+        let cell_tables = tables[&(cell.hc_first, cell.seeds.device)].clone();
+        let device = match self.device.as_mut() {
+            Some(device) => {
+                device.reset_for_cell(cell_tables);
+                device
+            }
+            None => self.device.insert(DeviceState::with_tables(cell_tables)),
+        };
+        let mut workload = cell
+            .workload
+            .build(
+                &plan.config.geometry,
+                plan.config.benign_fraction,
+                cell.seeds.workload,
+            )
+            .expect("workloads are validated at plan time");
+        let mut mitigation =
+            cell.mitigation
+                .build(cell.hc_first, BLAST_RADIUS, cell.seeds.mitigation);
+        run_experiment(
+            device,
+            workload.as_mut(),
+            mitigation.as_mut(),
+            cell.activations,
+            cell.auto_refresh_interval,
+            &mut self.actions,
         )
-        .expect("workloads are validated at plan time");
-    let mut mitigation = cell
-        .mitigation
-        .build(cell.hc_first, BLAST_RADIUS, cell.seeds.mitigation);
-    run_experiment(
-        plan.config.geometry,
-        params,
-        cell.seeds.device,
-        workload.as_mut(),
-        mitigation.as_mut(),
-        cell.activations,
-        cell.auto_refresh_interval,
-    )
+    }
 }
 
 /// Execute `cells` on up to `threads` workers; results come back merged in
 /// cell order regardless of which worker ran what.
 pub fn execute_cells(plan: &SweepPlan, cells: &[CellSpec], threads: usize) -> Vec<RunResult> {
     let threads = threads.max(1).min(cells.len().max(1));
+    let tables = build_table_cache(plan, cells);
     if threads == 1 {
-        return cells.iter().map(|cell| run_cell(plan, cell)).collect();
+        let mut worker = Worker::new();
+        return cells
+            .iter()
+            .map(|cell| worker.run_cell(plan, cell, &tables))
+            .collect();
     }
 
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let result = run_cell(plan, cell);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            scope.spawn(|| {
+                let mut worker = Worker::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let result = worker.run_cell(plan, cell, &tables);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                }
             });
         }
     });
@@ -109,6 +181,30 @@ mod tests {
             let sharded = execute_cells(&plan, &plan.grid, threads);
             assert_eq!(flat(&serial), flat(&sharded), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn table_cache_is_shared_per_device_not_per_cell() {
+        let plan = tiny_plan();
+        let tables = build_table_cache(&plan, &plan.grid);
+        // 2 hc_first values × 1 shared device seed — far fewer than cells.
+        assert_eq!(tables.len(), 2);
+        assert!(plan.grid.len() > tables.len());
+    }
+
+    #[test]
+    fn worker_reuse_matches_fresh_workers() {
+        // Serial path reuses ONE worker for every cell; per-cell fresh
+        // workers must agree, proving reset_for_cell leaks nothing.
+        let plan = tiny_plan();
+        let tables = build_table_cache(&plan, &plan.grid);
+        let reused = execute_cells(&plan, &plan.grid, 1);
+        let fresh: Vec<RunResult> = plan
+            .grid
+            .iter()
+            .map(|cell| Worker::new().run_cell(&plan, cell, &tables))
+            .collect();
+        assert_eq!(flat(&reused), flat(&fresh));
     }
 
     #[test]

@@ -9,8 +9,12 @@
 //! back into plan order, so any `--threads` value emits byte-identical JSON;
 //! [`engine`] drives one cell's activation stream through a mitigation into
 //! the device model; [`json`] renders results as a JSON table (the shape of
-//! the paper's Figures 7–9: bit-flip rate vs. hammer count per mitigation).
+//! the paper's Figures 7–9: bit-flip rate vs. hammer count per mitigation);
+//! [`bench`] is the benchmark harness (`rh-cli bench`) that times the
+//! optimized hot path against the retained eager reference path over a
+//! pinned reference sweep and emits `BENCH_3.json`.
 
+pub mod bench;
 pub mod cli;
 pub mod engine;
 pub mod exec;
@@ -18,6 +22,7 @@ pub mod json;
 pub mod plan;
 pub mod sweep;
 
+pub use bench::{run_bench, BenchOptions, BenchReport};
 pub use engine::{run_experiment, RunResult};
 pub use plan::{CellSeeds, CellSpec, SweepPlan};
 pub use sweep::{run_sweep, SweepConfig, SweepOutput};

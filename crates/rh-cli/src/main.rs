@@ -3,13 +3,54 @@
 //! Thin binary shell: parsing lives in [`rh_cli::cli`] and the pipeline in
 //! the library so both are unit-testable. See `rh-cli --help` for options.
 
-use rh_cli::cli::{parse_args, Invocation, USAGE};
-use rh_cli::{json, run_sweep};
+use rh_cli::cli::{parse_args, parse_bench_args, BenchInvocation, Invocation, USAGE};
+use rh_cli::{bench, json, run_sweep};
 use std::process::ExitCode;
+
+fn run_bench_command(opts: &bench::BenchOptions) -> ExitCode {
+    match bench::run_bench(opts) {
+        Ok(report) => {
+            let doc = bench::render(&report);
+            if let Err(e) = std::fs::write(&opts.out_path, format!("{doc}\n")) {
+                eprintln!("error: cannot write {}: {e}", opts.out_path);
+                return ExitCode::FAILURE;
+            }
+            println!("{doc}");
+            eprintln!(
+                "bench: {:.2}x speedup ({:.0} -> {:.0} acts/sec), report at {}",
+                report.speedup,
+                report.legacy_acts_per_sec,
+                report.optimized_acts_per_sec,
+                opts.out_path
+            );
+            if report.equivalent {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: optimized and legacy paths diverged (determinism regression)");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("bench") => match parse_bench_args(&args[1..]) {
+            Ok(BenchInvocation::Help) => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Ok(BenchInvocation::Bench(opts)) => run_bench_command(&opts),
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
         Some("sweep") => match parse_args(&args[1..]) {
             Ok(Invocation::Help) => {
                 print!("{USAGE}");

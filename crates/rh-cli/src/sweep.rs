@@ -85,6 +85,7 @@ impl SweepConfig {
 
     /// Semantic validation shared by the CLI and [`SweepPlan::from_config`].
     pub fn validate(&self) -> Result<(), String> {
+        self.geometry.validate()?;
         if self.activations == 0 {
             return Err("activations must be at least 1".to_string());
         }

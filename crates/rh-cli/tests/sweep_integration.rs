@@ -38,10 +38,37 @@ fn sweep_covers_full_grid() {
 
 #[test]
 fn threads_do_not_change_the_bytes() {
+    // The per-worker device reuse (`reset_for_cell`) means different thread
+    // counts split cells across workers differently — the bytes must still
+    // be identical at every count (1, 2, and 8 exercise "one worker runs
+    // everything", "workers see interleaved shards", and "more workers than
+    // some shards").
     let cfg = small_config();
     let serial = json::render(&run_sweep(&cfg, 1).unwrap());
-    let sharded = json::render(&run_sweep(&cfg, 8).unwrap());
-    assert_eq!(serial, sharded, "sharded sweep must be byte-identical");
+    for threads in [2, 8] {
+        let sharded = json::render(&run_sweep(&cfg, threads).unwrap());
+        assert_eq!(
+            serial, sharded,
+            "sweep at --threads {threads} must be byte-identical to serial"
+        );
+    }
+}
+
+/// The benchmark harness's two engine paths (optimized epoch-based device
+/// with shared tables vs. retained eager reference) must agree end-to-end
+/// on a reduced reference sweep — the same equivalence check `rh-cli bench`
+/// enforces at full scale.
+#[test]
+fn bench_quick_paths_are_equivalent() {
+    let report = rh_cli::run_bench(&rh_cli::BenchOptions {
+        quick: true,
+        out_path: String::new(), // not written by run_bench; render-only
+    })
+    .expect("quick bench must run");
+    assert!(report.equivalent, "optimized and eager paths diverged");
+    assert_eq!(report.cells.len(), 45);
+    let doc = rh_cli::bench::render(&report);
+    assert!(doc.contains("\"equivalent\": true"));
 }
 
 #[test]

@@ -15,9 +15,36 @@
 //! (never per-activation) means two simulations with the same seed see
 //! byte-identical devices, which the CLI exploits for common-random-number
 //! comparisons across mitigation configurations.
+//!
+//! ## Hot-path design
+//!
+//! The per-activation path is allocation-free and every per-window cost is
+//! amortized O(1):
+//!
+//! * **Shared tables** ([`DeviceTables`]): the immutable, seed-derived parts
+//!   of a device (per-row flip thresholds, the `coupling^(d-1)` attenuation
+//!   table) live in an `Arc` so every experiment cell simulating the same
+//!   device (common-random-number sweeps share the device seed) reuses one
+//!   O(total_rows) derivation instead of repeating it per cell.
+//! * **Epoch-based lazy refresh**: `refresh_all` — the per-tREFW-window
+//!   full-device refresh — bumps a global epoch counter instead of zeroing
+//!   `total_rows` charges. A row's charge is valid only if its last-write
+//!   epoch matches the global epoch; stale charges read as zero and are
+//!   reset lazily on the next write. This turns the dominant O(total_rows)
+//!   cost of refresh-heavy configurations (increased-refresh at low
+//!   `HC_first`, exactly the regime the paper projects) into O(1).
+//! * **Incremental flip accounting**: `flipped_rows` is maintained as a
+//!   counter on the 0→nonzero transition in `settle_flips`, replacing the
+//!   end-of-run full-device scan ([`DeviceState::flipped_rows_scan`] remains
+//!   as the diagnostic reference, asserted equivalent in tests).
+//!
+//! The retained eager-zeroing reference implementation lives in
+//! [`crate::reference`]; differential tests drive both against seeded random
+//! action sequences and assert identical flips, charges, and refresh tallies.
 
 use crate::geometry::{Geometry, RowAddr};
 use crate::rng::SplitMix64;
+use std::sync::Arc;
 
 /// Parameters of the victim model.
 #[derive(Debug, Clone, Copy)]
@@ -54,43 +81,73 @@ impl VictimModelParams {
     }
 }
 
-/// Mutable state of the simulated device: per-row charge, activation
-/// counters, and recorded bit flips.
-#[derive(Debug, Clone)]
-pub struct DeviceState {
-    geom: Geometry,
-    params: VictimModelParams,
-    /// Accumulated disturbance per row, in units of distance-1 hammers.
-    charge: Vec<f64>,
-    /// Per-row flip threshold (hc_first with jitter), precomputed.
-    threshold: Vec<f64>,
-    /// Activations per row since construction.
-    acts: Vec<u64>,
-    /// Bit flips recorded per row (cumulative, monotone).
-    flips: Vec<u32>,
-    total_flips: u64,
-    total_activations: u64,
-    refreshes_issued: u64,
+/// The common device interface the engine drives: the optimized
+/// [`DeviceState`] and the retained eager reference implementation
+/// ([`crate::reference::EagerDeviceState`]) are interchangeable behind it,
+/// which is what lets the benchmark harness and the differential tests run
+/// the identical experiment loop over both.
+pub trait Device {
+    fn geometry(&self) -> &Geometry;
+    fn params(&self) -> &VictimModelParams;
+    /// Activate a row: account it and leak disturbance into its blast radius.
+    fn activate(&mut self, addr: RowAddr);
+    /// Refresh a single row (restore its charge). Flips stay recorded.
+    fn refresh_row(&mut self, addr: RowAddr);
+    /// Refresh every row in the device.
+    fn refresh_all(&mut self);
+    fn total_flips(&self) -> u64;
+    fn flipped_rows(&self) -> u64;
+    fn flips_per_mact(&self) -> f64;
+    fn total_activations(&self) -> u64;
+    fn refreshes_issued(&self) -> u64;
 }
 
-impl DeviceState {
-    pub fn new(geom: Geometry, params: VictimModelParams, seed: u64) -> Self {
+/// Immutable, seed-derived per-device tables, shared between every
+/// experiment cell that simulates the same device.
+///
+/// Construction is the only O(total_rows) step (threshold derivation); the
+/// sweep executor builds one table set per distinct `(params, seed)` pair
+/// and hands `Arc` clones to worker threads, so common-random-number cells
+/// stop re-deriving thresholds per cell.
+#[derive(Debug)]
+pub struct DeviceTables {
+    geom: Geometry,
+    params: VictimModelParams,
+    /// Per-row flip threshold (hc_first with jitter), precomputed.
+    threshold: Vec<f64>,
+    /// `atten[d - 1] = coupling_decay^(d - 1)` for `d` in `1..=blast_radius`,
+    /// precomputed so the per-activation path never calls `powi`.
+    atten: Vec<f64>,
+}
+
+impl DeviceTables {
+    /// Derive the tables for a device. Fails with a clear error on a
+    /// degenerate geometry (any zero dimension).
+    pub fn new(geom: Geometry, params: VictimModelParams, seed: u64) -> Result<Self, String> {
+        geom.validate()?;
         let n = geom.total_rows() as usize;
         let mut rng = SplitMix64::new(seed);
         let threshold = (0..n)
             .map(|_| params.hc_first as f64 * (1.0 + params.threshold_jitter * rng.next_f64()))
             .collect();
-        Self {
+        let atten = (1..=params.blast_radius)
+            .map(|d| params.coupling_decay.powi(d as i32 - 1))
+            .collect();
+        Ok(Self {
             geom,
             params,
-            charge: vec![0.0; n],
             threshold,
-            acts: vec![0; n],
-            flips: vec![0; n],
-            total_flips: 0,
-            total_activations: 0,
-            refreshes_issued: 0,
-        }
+            atten,
+        })
+    }
+
+    /// Like [`DeviceTables::new`], wrapped for sharing across cells/threads.
+    pub fn shared(
+        geom: Geometry,
+        params: VictimModelParams,
+        seed: u64,
+    ) -> Result<Arc<Self>, String> {
+        Ok(Arc::new(Self::new(geom, params, seed)?))
     }
 
     pub fn geometry(&self) -> &Geometry {
@@ -101,53 +158,185 @@ impl DeviceState {
         &self.params
     }
 
+    /// Flip threshold of a row (test/diagnostic hook).
+    pub fn threshold_of(&self, addr: RowAddr) -> f64 {
+        self.threshold[self.geom.flat_index(addr)]
+    }
+
+    /// Precomputed coupling attenuation at aggressor distance `d >= 1`.
+    pub fn attenuation(&self, dist: u32) -> f64 {
+        self.atten[(dist - 1) as usize]
+    }
+}
+
+/// Mutable state of the simulated device: per-row charge, activation
+/// counters, and recorded bit flips. Immutable tables are `Arc`-shared
+/// ([`DeviceTables`]); refresh is epoch-based (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DeviceState {
+    tables: Arc<DeviceTables>,
+    /// Accumulated disturbance per row, in units of distance-1 hammers.
+    /// Valid only where `row_epoch` matches `epoch`; stale entries read as 0.
+    charge: Vec<f64>,
+    /// Epoch of each row's last charge write (or targeted refresh).
+    row_epoch: Vec<u64>,
+    /// Global refresh epoch; bumped O(1) by `refresh_all`.
+    epoch: u64,
+    /// Activations per row since construction.
+    acts: Vec<u64>,
+    /// Bit flips recorded per row (cumulative, monotone).
+    flips: Vec<u32>,
+    total_flips: u64,
+    total_activations: u64,
+    refreshes_issued: u64,
+    /// Distinct rows with at least one flip, maintained incrementally on the
+    /// 0→nonzero transition in `settle_flips`.
+    flipped_row_count: u64,
+}
+
+impl DeviceState {
+    /// Build a device with freshly derived tables. Panics on a degenerate
+    /// geometry; use [`Geometry::validate`] / [`DeviceTables::new`] first on
+    /// untrusted input.
+    pub fn new(geom: Geometry, params: VictimModelParams, seed: u64) -> Self {
+        let tables = DeviceTables::shared(geom, params, seed)
+            .unwrap_or_else(|e| panic!("invalid device geometry: {e}"));
+        Self::with_tables(tables)
+    }
+
+    /// Build a device around pre-derived shared tables.
+    pub fn with_tables(tables: Arc<DeviceTables>) -> Self {
+        let n = tables.geom.total_rows() as usize;
+        Self {
+            tables,
+            charge: vec![0.0; n],
+            row_epoch: vec![0; n],
+            epoch: 0,
+            acts: vec![0; n],
+            flips: vec![0; n],
+            total_flips: 0,
+            total_activations: 0,
+            refreshes_issued: 0,
+            flipped_row_count: 0,
+        }
+    }
+
+    /// Reuse this device's buffers for a new experiment cell: swap in the
+    /// cell's tables, zero all counters, and invalidate every charge by
+    /// bumping the epoch (no O(total_rows) zeroing, no reallocation unless
+    /// the geometry grew). Equivalent to `DeviceState::with_tables` minus
+    /// the allocations — executor threads call this once per cell.
+    pub fn reset_for_cell(&mut self, tables: Arc<DeviceTables>) {
+        let n = tables.geom.total_rows() as usize;
+        self.tables = tables;
+        // One bump invalidates all retained charges: every row_epoch entry
+        // (including the 0s of rows grown below) is now strictly stale.
+        self.epoch += 1;
+        if self.charge.len() != n {
+            self.charge.resize(n, 0.0);
+            self.row_epoch.resize(n, 0);
+        }
+        self.acts.clear();
+        self.acts.resize(n, 0);
+        self.flips.clear();
+        self.flips.resize(n, 0);
+        self.total_flips = 0;
+        self.total_activations = 0;
+        self.refreshes_issued = 0;
+        self.flipped_row_count = 0;
+    }
+
+    /// The shared immutable tables backing this device.
+    pub fn tables(&self) -> &Arc<DeviceTables> {
+        &self.tables
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        &self.tables.geom
+    }
+
+    pub fn params(&self) -> &VictimModelParams {
+        &self.tables.params
+    }
+
+    /// Resolve a row's charge against the epoch, resetting it lazily so the
+    /// caller can accumulate into `self.charge[idx]` directly.
+    #[inline]
+    fn touch(&mut self, idx: usize) {
+        if self.row_epoch[idx] != self.epoch {
+            self.row_epoch[idx] = self.epoch;
+            self.charge[idx] = 0.0;
+        }
+    }
+
     /// Activate `addr`: account the activation and leak disturbance into all
     /// rows within the blast radius, recording any new bit flips.
+    ///
+    /// Allocation-free: victims are addressed by flat-index arithmetic from
+    /// the aggressor's index (same bank ⇒ contiguous rows) and attenuation
+    /// comes from the precomputed table.
     pub fn activate(&mut self, addr: RowAddr) {
-        let idx = self.geom.flat_index(addr);
+        let idx = self.tables.geom.flat_index(addr);
         self.acts[idx] += 1;
         self.total_activations += 1;
-        for (victim, dist) in addr.neighbors(&self.geom, self.params.blast_radius) {
-            let vi = self.geom.flat_index(victim);
-            self.charge[vi] += self.params.coupling_decay.powi(dist as i32 - 1);
+        let row = addr.row;
+        let radius = self.tables.params.blast_radius;
+        let lo = row.saturating_sub(radius);
+        let hi = row
+            .saturating_add(radius)
+            .min(self.tables.geom.rows_per_bank - 1);
+        let bank_base = idx - row as usize;
+        for r in lo..=hi {
+            if r == row {
+                continue;
+            }
+            let vi = bank_base + r as usize;
+            let quantum = self.tables.atten[(row.abs_diff(r) - 1) as usize];
+            self.touch(vi);
+            self.charge[vi] += quantum;
             self.settle_flips(vi);
         }
     }
 
     /// Refresh a single row: restores its charge. Flips stay recorded.
     pub fn refresh_row(&mut self, addr: RowAddr) {
-        let idx = self.geom.flat_index(addr);
+        let idx = self.tables.geom.flat_index(addr);
         self.charge[idx] = 0.0;
+        self.row_epoch[idx] = self.epoch;
         self.refreshes_issued += 1;
     }
 
     /// Refresh every row in the device (e.g. the periodic auto-refresh at
     /// the end of a tREFW window, or an increased-refresh mitigation tick).
+    /// O(1): bumps the epoch instead of zeroing every charge.
     pub fn refresh_all(&mut self) {
-        for c in &mut self.charge {
-            *c = 0.0;
-        }
+        self.epoch += 1;
         // Count in row units so the cost metric is comparable with
         // `refresh_row`-based mitigations.
-        self.refreshes_issued += self.geom.total_rows();
+        self.refreshes_issued += self.tables.geom.total_rows();
     }
 
     /// Deterministically reconcile a row's recorded flips with its charge.
     ///
     /// Expected flips are a monotone function of charge, so recorded flips
     /// can only grow; this is what makes flip counts monotone under
-    /// common-random-number mitigation comparisons.
+    /// common-random-number mitigation comparisons. Callers guarantee
+    /// `charge[idx]` is epoch-current (see [`DeviceState::touch`]).
     fn settle_flips(&mut self, idx: usize) {
         let c = self.charge[idx];
-        let t = self.threshold[idx];
+        let t = self.tables.threshold[idx];
         if c < t {
             return;
         }
-        let overshoot = (c - t) / self.params.hc_first as f64;
-        let expected =
-            1 + (overshoot * self.params.flip_slope * self.params.cells_per_row as f64) as u32;
-        let expected = expected.min(self.params.cells_per_row);
+        let overshoot = (c - t) / self.tables.params.hc_first as f64;
+        let expected = 1
+            + (overshoot * self.tables.params.flip_slope * self.tables.params.cells_per_row as f64)
+                as u32;
+        let expected = expected.min(self.tables.params.cells_per_row);
         if expected > self.flips[idx] {
+            if self.flips[idx] == 0 {
+                self.flipped_row_count += 1;
+            }
             self.total_flips += (expected - self.flips[idx]) as u64;
             self.flips[idx] = expected;
         }
@@ -158,8 +347,15 @@ impl DeviceState {
         self.total_flips
     }
 
-    /// Number of distinct rows with at least one flipped bit.
+    /// Number of distinct rows with at least one flipped bit (O(1) counter).
     pub fn flipped_rows(&self) -> u64 {
+        self.flipped_row_count
+    }
+
+    /// Reference full-scan count of flipped rows. Diagnostic only: tests
+    /// assert it always equals the incrementally-maintained
+    /// [`DeviceState::flipped_rows`] counter.
+    pub fn flipped_rows_scan(&self) -> u64 {
         self.flips.iter().filter(|&&f| f > 0).count() as u64
     }
 
@@ -183,12 +379,60 @@ impl DeviceState {
 
     /// Activation count of a row since construction.
     pub fn activations_of(&self, addr: RowAddr) -> u64 {
-        self.acts[self.geom.flat_index(addr)]
+        self.acts[self.tables.geom.flat_index(addr)]
     }
 
-    /// Accumulated charge of a row (test/diagnostic hook).
+    /// Accumulated charge of a row (test/diagnostic hook), resolved against
+    /// the refresh epoch.
     pub fn charge_of(&self, addr: RowAddr) -> f64 {
-        self.charge[self.geom.flat_index(addr)]
+        let idx = self.tables.geom.flat_index(addr);
+        if self.row_epoch[idx] == self.epoch {
+            self.charge[idx]
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Device for DeviceState {
+    fn geometry(&self) -> &Geometry {
+        DeviceState::geometry(self)
+    }
+
+    fn params(&self) -> &VictimModelParams {
+        DeviceState::params(self)
+    }
+
+    fn activate(&mut self, addr: RowAddr) {
+        DeviceState::activate(self, addr)
+    }
+
+    fn refresh_row(&mut self, addr: RowAddr) {
+        DeviceState::refresh_row(self, addr)
+    }
+
+    fn refresh_all(&mut self) {
+        DeviceState::refresh_all(self)
+    }
+
+    fn total_flips(&self) -> u64 {
+        DeviceState::total_flips(self)
+    }
+
+    fn flipped_rows(&self) -> u64 {
+        DeviceState::flipped_rows(self)
+    }
+
+    fn flips_per_mact(&self) -> f64 {
+        DeviceState::flips_per_mact(self)
+    }
+
+    fn total_activations(&self) -> u64 {
+        DeviceState::total_activations(self)
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        DeviceState::refreshes_issued(self)
     }
 }
 
@@ -253,6 +497,26 @@ mod tests {
     }
 
     #[test]
+    fn refresh_all_is_epoch_lazy_but_observably_eager() {
+        let g = Geometry::tiny(16);
+        let mut d = DeviceState::new(g, no_jitter(1000), 1);
+        let aggr = RowAddr::bank_row(0, 8);
+        for _ in 0..600 {
+            d.activate(aggr);
+        }
+        assert!(d.charge_of(RowAddr::bank_row(0, 7)) > 0.0);
+        d.refresh_all();
+        // Charges read as zero immediately, and the refresh tally counts
+        // every row even though nothing was eagerly zeroed.
+        assert_eq!(d.charge_of(RowAddr::bank_row(0, 7)), 0.0);
+        assert_eq!(d.refreshes_issued(), g.total_rows());
+        for _ in 0..600 {
+            d.activate(aggr);
+        }
+        assert_eq!(d.total_flips(), 0, "stale pre-refresh charge leaked in");
+    }
+
+    #[test]
     fn blast_radius_attenuates_with_distance() {
         let g = Geometry::tiny(16);
         let p = no_jitter(1000);
@@ -284,9 +548,25 @@ mod tests {
     fn same_seed_same_thresholds() {
         let g = Geometry::tiny(64);
         let p = VictimModelParams::with_hc_first(5000);
-        let a = DeviceState::new(g, p, 123);
-        let b = DeviceState::new(g, p, 123);
+        let a = DeviceTables::new(g, p, 123).unwrap();
+        let b = DeviceTables::new(g, p, 123).unwrap();
         assert_eq!(a.threshold, b.threshold);
+    }
+
+    #[test]
+    fn attenuation_table_matches_powi() {
+        let p = VictimModelParams::with_hc_first(1000);
+        let t = DeviceTables::new(Geometry::tiny(64), p, 0).unwrap();
+        for d in 1..=p.blast_radius {
+            assert_eq!(t.attenuation(d), p.coupling_decay.powi(d as i32 - 1));
+        }
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected_with_clear_error() {
+        let p = VictimModelParams::with_hc_first(1000);
+        let err = DeviceTables::new(Geometry::tiny(0), p, 0).unwrap_err();
+        assert!(err.contains("rows_per_bank"), "got '{err}'");
     }
 
     #[test]
@@ -303,5 +583,106 @@ mod tests {
             last = d.total_flips();
         }
         assert!(last > 0);
+    }
+
+    #[test]
+    fn flipped_rows_counter_matches_full_scan() {
+        let g = Geometry::tiny(64);
+        let mut d = DeviceState::new(g, VictimModelParams::with_hc_first(300), 9);
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..20_000 {
+            // Half the traffic hammers one hot row so thresholds are crossed
+            // between the (rare) full refreshes.
+            let row = if rng.chance(0.5) {
+                32
+            } else {
+                rng.gen_range(64) as u32
+            };
+            d.activate(RowAddr::bank_row(0, row));
+            if rng.chance(0.0005) {
+                d.refresh_all();
+            }
+        }
+        assert!(d.total_flips() > 0, "test must exercise flips");
+        assert_eq!(d.flipped_rows(), d.flipped_rows_scan());
+    }
+
+    #[test]
+    fn shared_tables_produce_identical_devices() {
+        let g = Geometry::tiny(64);
+        let p = VictimModelParams::with_hc_first(800);
+        let tables = DeviceTables::shared(g, p, 5).unwrap();
+        let mut a = DeviceState::with_tables(tables.clone());
+        let mut b = DeviceState::new(g, p, 5);
+        let aggr = RowAddr::bank_row(0, 32);
+        for _ in 0..2_000 {
+            a.activate(aggr);
+            b.activate(aggr);
+        }
+        assert_eq!(a.total_flips(), b.total_flips());
+        assert_eq!(
+            a.charge_of(RowAddr::bank_row(0, 31)).to_bits(),
+            b.charge_of(RowAddr::bank_row(0, 31)).to_bits()
+        );
+        assert_eq!(
+            Arc::strong_count(&tables),
+            2,
+            "tables are shared, not cloned"
+        );
+    }
+
+    #[test]
+    fn reset_for_cell_is_equivalent_to_fresh_construction() {
+        let g = Geometry::tiny(64);
+        let p1 = VictimModelParams::with_hc_first(500);
+        let p2 = VictimModelParams::with_hc_first(900);
+        let t1 = DeviceTables::shared(g, p1, 3).unwrap();
+        let t2 = DeviceTables::shared(g, p2, 3).unwrap();
+
+        // Dirty a device under tables 1, then reset it for tables 2.
+        let mut reused = DeviceState::with_tables(t1);
+        for _ in 0..1_500 {
+            reused.activate(RowAddr::bank_row(0, 20));
+        }
+        assert!(reused.total_flips() > 0);
+        reused.reset_for_cell(t2.clone());
+        assert_eq!(reused.total_flips(), 0);
+        assert_eq!(reused.flipped_rows(), 0);
+        assert_eq!(reused.total_activations(), 0);
+        assert_eq!(reused.refreshes_issued(), 0);
+        assert_eq!(reused.charge_of(RowAddr::bank_row(0, 19)), 0.0);
+
+        let mut fresh = DeviceState::with_tables(t2);
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..5_000 {
+            let addr = RowAddr::bank_row(0, rng.gen_range(64) as u32);
+            reused.activate(addr);
+            fresh.activate(addr);
+            if rng.chance(0.02) {
+                reused.refresh_all();
+                fresh.refresh_all();
+            }
+        }
+        assert_eq!(reused.total_flips(), fresh.total_flips());
+        assert_eq!(reused.flipped_rows(), fresh.flipped_rows());
+        assert_eq!(reused.refreshes_issued(), fresh.refreshes_issued());
+        for row in 0..64 {
+            let a = reused.charge_of(RowAddr::bank_row(0, row));
+            let b = fresh.charge_of(RowAddr::bank_row(0, row));
+            assert_eq!(a.to_bits(), b.to_bits(), "charge mismatch at row {row}");
+        }
+    }
+
+    #[test]
+    fn reset_for_cell_handles_geometry_growth() {
+        let p = VictimModelParams::with_hc_first(500);
+        let small = DeviceTables::shared(Geometry::tiny(16), p, 3).unwrap();
+        let big = DeviceTables::shared(Geometry::tiny(128), p, 3).unwrap();
+        let mut d = DeviceState::with_tables(small);
+        d.activate(RowAddr::bank_row(0, 8));
+        d.reset_for_cell(big);
+        d.activate(RowAddr::bank_row(0, 100));
+        assert_eq!(d.total_activations(), 1);
+        assert_eq!(d.charge_of(RowAddr::bank_row(0, 99)), 1.0);
     }
 }

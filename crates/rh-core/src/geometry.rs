@@ -26,6 +26,25 @@ impl Geometry {
         }
     }
 
+    /// Check that every dimension is at least 1, so downstream row-adjacency
+    /// math (`rows_per_bank - 1` clipping) and dense per-row vectors are
+    /// well-defined. Device-model constructors and the sweep config both
+    /// call this, so a degenerate geometry fails loudly instead of
+    /// underflowing deep inside the hot path.
+    pub fn validate(&self) -> Result<(), String> {
+        for (dim, v) in [
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("banks", self.banks),
+            ("rows_per_bank", self.rows_per_bank),
+        ] {
+            if v == 0 {
+                return Err(format!("geometry.{dim} must be at least 1, got 0"));
+            }
+        }
+        Ok(())
+    }
+
     /// Total number of rows across the whole device.
     pub fn total_rows(&self) -> u64 {
         self.channels as u64 * self.ranks as u64 * self.banks as u64 * self.rows_per_bank as u64
@@ -87,7 +106,12 @@ impl RowAddr {
     ) -> impl Iterator<Item = (RowAddr, u32)> {
         let row = self.row;
         let lo = row.saturating_sub(blast_radius);
-        let hi = (row + blast_radius).min(geom.rows_per_bank - 1);
+        // Saturating on both sides: an empty bank yields no neighbors
+        // (rather than underflowing `rows_per_bank - 1`), and a row near
+        // `u32::MAX` cannot overflow past the clip.
+        let hi = row
+            .saturating_add(blast_radius)
+            .min(geom.rows_per_bank.saturating_sub(1));
         (lo..=hi)
             .filter(move |&r| r != row)
             .map(move |r| (self.with_row(r), row.abs_diff(r)))
@@ -136,6 +160,28 @@ mod tests {
         let n = RowAddr::bank_row(0, 2).neighbors(&g, 10);
         let rows: Vec<u32> = n.map(|(a, _)| a.row).collect();
         assert_eq!(rows, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn neighbors_empty_bank_yields_nothing_without_panic() {
+        // rows_per_bank == 0 used to underflow `rows_per_bank - 1`.
+        let g = Geometry::tiny(0);
+        assert_eq!(RowAddr::bank_row(0, 0).neighbors(&g, 2).count(), 0);
+        assert_eq!(RowAddr::bank_row(0, 5).neighbors(&g, 2).count(), 0);
+    }
+
+    #[test]
+    fn validate_names_the_offending_dimension() {
+        assert!(Geometry::tiny(64).validate().is_ok());
+        let err = Geometry::tiny(0).validate().unwrap_err();
+        assert!(err.contains("rows_per_bank"), "got '{err}'");
+        let err = Geometry {
+            banks: 0,
+            ..Geometry::tiny(64)
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("banks"), "got '{err}'");
     }
 
     #[test]

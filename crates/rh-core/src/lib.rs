@@ -10,17 +10,26 @@
 //!   row-adjacency math (blast radius, clipped at bank edges);
 //! * [`DeviceState`] — per-row activation accounting and a charge-leakage
 //!   victim model parameterized by `HC_first` (the minimum hammer count that
-//!   induces the first bit flip) and a distance-attenuated blast radius;
+//!   induces the first bit flip) and a distance-attenuated blast radius,
+//!   with an allocation-free hot path: `Arc`-shared [`DeviceTables`]
+//!   (thresholds + attenuation), epoch-based O(1) `refresh_all`, and an
+//!   incrementally-maintained flipped-row counter (see `device` module docs);
+//! * [`Device`] — the trait the engine drives, implemented by both the
+//!   optimized [`DeviceState`] and the retained eager reference
+//!   ([`reference::EagerDeviceState`]) that differential tests and the
+//!   benchmark harness compare against;
 //! * [`SplitMix64`] — a small deterministic seeded RNG so every experiment
 //!   in the workspace is exactly reproducible.
 //!
 //! Upper layers: `rh-mitigations` (policy), `rh-workloads` (access-pattern
-//! generators), `rh-cli` (sweep driver and JSON reporting).
+//! generators), `rh-cli` (sweep driver, benchmark harness, JSON reporting).
 
 pub mod device;
 pub mod geometry;
+pub mod reference;
 pub mod rng;
 
-pub use device::{DeviceState, VictimModelParams};
+pub use device::{Device, DeviceState, DeviceTables, VictimModelParams};
 pub use geometry::{Geometry, RowAddr};
+pub use reference::EagerDeviceState;
 pub use rng::{derive_seed, SplitMix64};

@@ -1,0 +1,217 @@
+//! Retained eager-zeroing reference device — the pre-optimization semantics,
+//! kept as an executable specification.
+//!
+//! [`EagerDeviceState`] is the device model as it stood before the hot-path
+//! rework: `refresh_all` eagerly zeroes every row's charge (O(total_rows)
+//! per call), thresholds are re-derived at every construction, coupling
+//! attenuation is computed with `powi` per victim per activation, and
+//! `flipped_rows` is an end-of-run full-device scan. It exists for two
+//! consumers:
+//!
+//! * **Differential tests** (below): seeded random action sequences driven
+//!   through both implementations must produce identical flip counts,
+//!   charges, and refresh tallies — the proof that epoch-based lazy refresh
+//!   is an observational no-op.
+//! * **The benchmark harness** (`rh-cli bench`): the "before" side of the
+//!   before/after throughput comparison runs the real experiment loop over
+//!   this device, so the reported speedup measures exactly the hot-path
+//!   changes and the equivalence check re-runs on every benchmark.
+
+use crate::device::{Device, VictimModelParams};
+use crate::geometry::{Geometry, RowAddr};
+use crate::rng::SplitMix64;
+
+/// Pre-optimization device model: eager refresh, per-construction threshold
+/// derivation, per-activation `powi`, full-scan flip-row counting.
+#[derive(Debug, Clone)]
+pub struct EagerDeviceState {
+    geom: Geometry,
+    params: VictimModelParams,
+    charge: Vec<f64>,
+    threshold: Vec<f64>,
+    acts: Vec<u64>,
+    flips: Vec<u32>,
+    total_flips: u64,
+    total_activations: u64,
+    refreshes_issued: u64,
+}
+
+impl EagerDeviceState {
+    /// Derives thresholds in full on every call — deliberately, as the
+    /// pre-optimization engine did per cell.
+    pub fn new(geom: Geometry, params: VictimModelParams, seed: u64) -> Self {
+        geom.validate()
+            .unwrap_or_else(|e| panic!("invalid device geometry: {e}"));
+        let n = geom.total_rows() as usize;
+        let mut rng = SplitMix64::new(seed);
+        let threshold = (0..n)
+            .map(|_| params.hc_first as f64 * (1.0 + params.threshold_jitter * rng.next_f64()))
+            .collect();
+        Self {
+            geom,
+            params,
+            charge: vec![0.0; n],
+            threshold,
+            acts: vec![0; n],
+            flips: vec![0; n],
+            total_flips: 0,
+            total_activations: 0,
+            refreshes_issued: 0,
+        }
+    }
+
+    /// Accumulated charge of a row (test/diagnostic hook).
+    pub fn charge_of(&self, addr: RowAddr) -> f64 {
+        self.charge[self.geom.flat_index(addr)]
+    }
+
+    fn settle_flips(&mut self, idx: usize) {
+        let c = self.charge[idx];
+        let t = self.threshold[idx];
+        if c < t {
+            return;
+        }
+        let overshoot = (c - t) / self.params.hc_first as f64;
+        let expected =
+            1 + (overshoot * self.params.flip_slope * self.params.cells_per_row as f64) as u32;
+        let expected = expected.min(self.params.cells_per_row);
+        if expected > self.flips[idx] {
+            self.total_flips += (expected - self.flips[idx]) as u64;
+            self.flips[idx] = expected;
+        }
+    }
+}
+
+impl Device for EagerDeviceState {
+    fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    fn params(&self) -> &VictimModelParams {
+        &self.params
+    }
+
+    fn activate(&mut self, addr: RowAddr) {
+        let idx = self.geom.flat_index(addr);
+        self.acts[idx] += 1;
+        self.total_activations += 1;
+        for (victim, dist) in addr.neighbors(&self.geom, self.params.blast_radius) {
+            let vi = self.geom.flat_index(victim);
+            self.charge[vi] += self.params.coupling_decay.powi(dist as i32 - 1);
+            self.settle_flips(vi);
+        }
+    }
+
+    fn refresh_row(&mut self, addr: RowAddr) {
+        let idx = self.geom.flat_index(addr);
+        self.charge[idx] = 0.0;
+        self.refreshes_issued += 1;
+    }
+
+    /// Eager O(total_rows) zeroing — the cost the epoch scheme eliminates.
+    fn refresh_all(&mut self) {
+        for c in &mut self.charge {
+            *c = 0.0;
+        }
+        self.refreshes_issued += self.geom.total_rows();
+    }
+
+    fn total_flips(&self) -> u64 {
+        self.total_flips
+    }
+
+    /// Full-device scan — the cost the incremental counter eliminates.
+    fn flipped_rows(&self) -> u64 {
+        self.flips.iter().filter(|&&f| f > 0).count() as u64
+    }
+
+    fn flips_per_mact(&self) -> f64 {
+        if self.total_activations == 0 {
+            return 0.0;
+        }
+        self.total_flips as f64 * 1e6 / self.total_activations as f64
+    }
+
+    fn total_activations(&self) -> u64 {
+        self.total_activations
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        self.refreshes_issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceState;
+
+    /// Drive both implementations through an identical seeded random action
+    /// sequence (activations, targeted refreshes, full refreshes) and assert
+    /// they agree on every observable at every checkpoint.
+    fn differential_run(
+        geom: Geometry,
+        params: VictimModelParams,
+        device_seed: u64,
+        ops_seed: u64,
+    ) {
+        let mut fast = DeviceState::new(geom, params, device_seed);
+        let mut eager = EagerDeviceState::new(geom, params, device_seed);
+        let mut rng = SplitMix64::new(ops_seed);
+        let rows = geom.rows_per_bank as u64;
+        for step in 0..30_000u32 {
+            let r = rng.next_f64();
+            if r < 0.975 {
+                // Hammer a small hot set so thresholds are actually crossed
+                // between the (rare) full refreshes below.
+                let row = (rng.gen_range(4) * 2 + rows / 2 - 4) as u32;
+                let addr = RowAddr::bank_row(0, row);
+                fast.activate(addr);
+                eager.activate(addr);
+            } else if r < 0.9995 {
+                let addr = RowAddr::bank_row(0, rng.gen_range(rows) as u32);
+                fast.refresh_row(addr);
+                eager.refresh_row(addr);
+            } else {
+                fast.refresh_all();
+                eager.refresh_all();
+            }
+            if step % 1_000 == 0 {
+                assert_eq!(fast.total_flips(), eager.total_flips(), "step {step}");
+            }
+        }
+        assert_eq!(fast.total_flips(), eager.total_flips());
+        assert_eq!(fast.flipped_rows(), eager.flipped_rows());
+        assert_eq!(fast.total_activations(), eager.total_activations());
+        assert_eq!(fast.refreshes_issued(), eager.refreshes_issued());
+        assert!(fast.total_flips() > 0, "sequence must exercise flips");
+        for row in 0..geom.rows_per_bank {
+            let addr = RowAddr::bank_row(0, row);
+            assert_eq!(
+                fast.charge_of(addr).to_bits(),
+                eager.charge_of(addr).to_bits(),
+                "charge diverged at row {row}"
+            );
+        }
+        // And the incremental counter agrees with its own full scan too.
+        assert_eq!(fast.flipped_rows(), fast.flipped_rows_scan());
+    }
+
+    #[test]
+    fn epoch_refresh_is_observationally_identical_to_eager() {
+        let geom = Geometry::tiny(128);
+        differential_run(geom, VictimModelParams::with_hc_first(400), 0xC0FFEE, 1);
+        differential_run(geom, VictimModelParams::with_hc_first(1200), 7, 2);
+    }
+
+    #[test]
+    fn differential_holds_with_zero_jitter_and_wide_blast() {
+        let geom = Geometry::tiny(256);
+        let params = VictimModelParams {
+            threshold_jitter: 0.0,
+            blast_radius: 4,
+            ..VictimModelParams::with_hc_first(600)
+        };
+        differential_run(geom, params, 99, 3);
+    }
+}

@@ -7,7 +7,7 @@
 //! the refresh threshold, its neighbors are refreshed and its counter
 //! rewinds, bounding the disturbance any aggressor can accumulate.
 
-use crate::{Mitigation, MitigationAction};
+use crate::{ActionBuf, Mitigation};
 use rh_core::{Geometry, RowAddr};
 use std::collections::HashMap;
 
@@ -76,7 +76,7 @@ impl Mitigation for Graphene {
         )
     }
 
-    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry) -> Vec<MitigationAction> {
+    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry, out: &mut ActionBuf) {
         self.observe(addr);
         if self.estimate(addr) >= self.refresh_threshold {
             // Drop the entry so a persistent aggressor re-triggers only
@@ -84,12 +84,10 @@ impl Mitigation for Graphene {
             // zero-count entry can underflow in the decrement pass).
             self.counters.remove(&addr);
             self.refreshes_triggered += 1;
-            return addr
-                .neighbors(geom, self.radius)
-                .map(|(victim, _)| MitigationAction::RefreshRow(victim))
-                .collect();
+            for (victim, _) in addr.neighbors(geom, self.radius) {
+                out.refresh_row(victim);
+            }
         }
-        Vec::new()
     }
 
     fn reset(&mut self) {
@@ -102,6 +100,7 @@ impl Mitigation for Graphene {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collect_actions;
     use rh_core::Geometry;
 
     #[test]
@@ -111,7 +110,7 @@ mod tests {
         let aggr = RowAddr::bank_row(0, 32);
         let mut refreshed = false;
         for _ in 0..100 {
-            if !g.on_activate(aggr, &geom).is_empty() {
+            if !collect_actions(&mut g, aggr, &geom).is_empty() {
                 refreshed = true;
             }
         }
@@ -129,11 +128,11 @@ mod tests {
         let mut triggers = 0;
         for i in 0u32..4000 {
             if i % 4 == 0 {
-                if !g.on_activate(aggr, &geom).is_empty() {
+                if !collect_actions(&mut g, aggr, &geom).is_empty() {
                     triggers += 1;
                 }
             } else {
-                g.on_activate(RowAddr::bank_row(0, i % 512), &geom);
+                collect_actions(&mut g, RowAddr::bank_row(0, i % 512), &geom);
             }
         }
         assert!(triggers >= 1, "aggressor escaped the counter table");
@@ -145,8 +144,8 @@ mod tests {
         let mut g = Graphene::new(2, 1_000_000, 1);
         let a = RowAddr::bank_row(0, 1);
         for i in 0u32..300 {
-            g.on_activate(a, &geom);
-            g.on_activate(RowAddr::bank_row(0, 2 + (i % 40)), &geom);
+            collect_actions(&mut g, a, &geom);
+            collect_actions(&mut g, RowAddr::bank_row(0, 2 + (i % 40)), &geom);
         }
         assert!(g.estimate(a) <= 300);
         // Misra–Gries error bound: undercount ≤ total decrements.
@@ -159,7 +158,7 @@ mod tests {
         let mut g = Graphene::new(4, 50, 1);
         let aggr = RowAddr::bank_row(0, 10);
         for _ in 0..200 {
-            g.on_activate(aggr, &geom);
+            collect_actions(&mut g, aggr, &geom);
         }
         assert_eq!(g.refreshes_triggered(), 4, "expected a trigger per 50 acts");
     }

@@ -1,10 +1,12 @@
 //! # rh-mitigations — mitigation policy layer
 //!
 //! Every mitigation observes the same per-activation stream through the
-//! [`Mitigation`] trait and responds with [`MitigationAction`]s that the
-//! engine (in `rh-cli`) applies to the device model. This mirrors how the
-//! ISCA 2020 paper evaluates mechanisms: all five see identical activation
-//! sequences and differ only in when they refresh potential victims.
+//! [`Mitigation`] trait and emits [`MitigationAction`]s into a reusable
+//! [`ActionBuf`] sink that the engine (in `rh-cli`) applies to the device
+//! model — sink-style rather than `Vec`-returning so the per-activation hot
+//! path never allocates. This mirrors how the ISCA 2020 paper evaluates
+//! mechanisms: all five see identical activation sequences and differ only
+//! in when they refresh potential victims.
 //!
 //! Implemented policies:
 //!
@@ -49,18 +51,73 @@ pub enum MitigationAction {
     RefreshAll,
 }
 
+/// Reusable sink for the actions a mitigation emits on one activation.
+///
+/// The engine allocates one buffer per run and clears it before every
+/// [`Mitigation::on_activate`] call, so the per-activation hot path never
+/// allocates: on the overwhelmingly common "no action" path nothing is
+/// written at all, and when actions do fire they land in the buffer's
+/// retained capacity.
+#[derive(Debug, Default, Clone)]
+pub struct ActionBuf {
+    actions: Vec<MitigationAction>,
+}
+
+impl ActionBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all buffered actions, retaining capacity. The engine calls this
+    /// before each `on_activate`; mitigations only append.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    pub fn push(&mut self, action: MitigationAction) {
+        self.actions.push(action);
+    }
+
+    /// Append a single-row refresh.
+    pub fn refresh_row(&mut self, addr: RowAddr) {
+        self.actions.push(MitigationAction::RefreshRow(addr));
+    }
+
+    /// Append a full-device refresh.
+    pub fn refresh_all(&mut self) {
+        self.actions.push(MitigationAction::RefreshAll);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The buffered actions, in emission order.
+    pub fn actions(&self) -> &[MitigationAction] {
+        &self.actions
+    }
+}
+
 /// A RowHammer mitigation observing the activation stream.
 ///
 /// The engine calls [`Mitigation::on_activate`] for every row activation
 /// *before* the activation is applied to the device, and applies the
-/// returned actions immediately after it. Implementations must be
-/// deterministic given their construction-time seed.
+/// emitted actions immediately after it. `on_activate` is sink-style: the
+/// caller passes a cleared [`ActionBuf`] and the mitigation appends any
+/// refreshes to perform, so the no-action fast path writes nothing and the
+/// hot path stays allocation-free. Implementations must be deterministic
+/// given their construction-time seed.
 pub trait Mitigation {
     /// Short stable identifier used in result tables (e.g. `"para(p=0.001)"`).
     fn name(&self) -> String;
 
-    /// Observe one activation; return any refreshes to perform.
-    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry) -> Vec<MitigationAction>;
+    /// Observe one activation; append any refreshes to perform to `out`.
+    /// `out` arrives cleared — implementations only append.
+    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry, out: &mut ActionBuf);
 
     /// Forget all accumulated state (e.g. at a refresh-window boundary).
     fn reset(&mut self);
@@ -75,9 +132,19 @@ impl Mitigation for NoMitigation {
         "none".to_string()
     }
 
-    fn on_activate(&mut self, _addr: RowAddr, _geom: &Geometry) -> Vec<MitigationAction> {
-        Vec::new()
-    }
+    fn on_activate(&mut self, _addr: RowAddr, _geom: &Geometry, _out: &mut ActionBuf) {}
 
     fn reset(&mut self) {}
+}
+
+/// Test/diagnostic adapter: run one `on_activate` through a scratch buffer
+/// and return the emitted actions as an owned `Vec`.
+pub fn collect_actions(
+    mitigation: &mut dyn Mitigation,
+    addr: RowAddr,
+    geom: &Geometry,
+) -> Vec<MitigationAction> {
+    let mut buf = ActionBuf::new();
+    mitigation.on_activate(addr, geom, &mut buf);
+    buf.actions().to_vec()
 }

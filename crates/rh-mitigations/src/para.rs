@@ -8,7 +8,7 @@
 //! 2020 paper shows the `p` needed for a 64ms failure window grows quickly
 //! as `HC_first` drops, costing performance.
 
-use crate::{Mitigation, MitigationAction};
+use crate::{ActionBuf, Mitigation};
 use rh_core::{Geometry, RowAddr, SplitMix64};
 
 /// Probabilistic row sampling with per-instance seeded RNG.
@@ -50,19 +50,19 @@ impl Mitigation for Para {
         format!("para(p={})", self.p)
     }
 
-    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry) -> Vec<MitigationAction> {
+    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry, out: &mut ActionBuf) {
         // Exactly one RNG draw per activation, sample or not: two Para
         // instances with the same seed but different `p` consume identical
         // streams, so the set of sampled activations at a lower `p` is a
         // strict subset of those at any higher `p`. The CLI's monotonicity
         // guarantee (flip rate non-increasing in `p`) rests on this.
         if !self.rng.chance(self.p) {
-            return Vec::new();
+            return;
         }
         self.samples_taken += 1;
-        addr.neighbors(geom, self.radius)
-            .map(|(victim, _)| MitigationAction::RefreshRow(victim))
-            .collect()
+        for (victim, _) in addr.neighbors(geom, self.radius) {
+            out.refresh_row(victim);
+        }
     }
 
     fn reset(&mut self) {
@@ -77,6 +77,7 @@ impl Mitigation for Para {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{collect_actions, MitigationAction};
     use rh_core::Geometry;
 
     /// Seeded statistical test: the empirical sampling rate over a long
@@ -89,8 +90,11 @@ mod tests {
             let n: u64 = 200_000;
             let mut para = Para::new(p, 1, 0xDEAD_BEEF);
             let mut sampled = 0u64;
+            let mut buf = ActionBuf::new();
             for _ in 0..n {
-                if !para.on_activate(addr, &geom).is_empty() {
+                buf.clear();
+                para.on_activate(addr, &geom, &mut buf);
+                if !buf.is_empty() {
                     sampled += 1;
                 }
             }
@@ -111,7 +115,7 @@ mod tests {
     fn sampled_actions_cover_blast_radius_clipped() {
         let geom = Geometry::tiny(8);
         let mut para = Para::new(1.0, 2, 7);
-        let actions = para.on_activate(RowAddr::bank_row(0, 0), &geom);
+        let actions = collect_actions(&mut para, RowAddr::bank_row(0, 0), &geom);
         assert_eq!(
             actions,
             vec![
@@ -126,7 +130,7 @@ mod tests {
         let geom = Geometry::tiny(8);
         let mut para = Para::new(0.0, 1, 1);
         for _ in 0..10_000 {
-            assert!(para.on_activate(RowAddr::bank_row(0, 4), &geom).is_empty());
+            assert!(collect_actions(&mut para, RowAddr::bank_row(0, 4), &geom).is_empty());
         }
     }
 
@@ -135,11 +139,11 @@ mod tests {
         let geom = Geometry::tiny(8);
         let mut para = Para::new(0.5, 1, 99);
         let first: Vec<bool> = (0..100)
-            .map(|_| !para.on_activate(RowAddr::bank_row(0, 4), &geom).is_empty())
+            .map(|_| !collect_actions(&mut para, RowAddr::bank_row(0, 4), &geom).is_empty())
             .collect();
         para.reset();
         let second: Vec<bool> = (0..100)
-            .map(|_| !para.on_activate(RowAddr::bank_row(0, 4), &geom).is_empty())
+            .map(|_| !collect_actions(&mut para, RowAddr::bank_row(0, 4), &geom).is_empty())
             .collect();
         // At p=0.5 a 100-draw replay collides with probability 2^-100.
         assert_ne!(

@@ -7,7 +7,7 @@
 //! it as a full-device refresh every `interval` activations (a time proxy:
 //! activations are the unit of simulated time throughout the workspace).
 
-use crate::{Mitigation, MitigationAction};
+use crate::{ActionBuf, Mitigation};
 use rh_core::{Geometry, RowAddr};
 
 /// Periodic full-device refresh every `interval` activations.
@@ -36,13 +36,11 @@ impl Mitigation for IncreasedRefresh {
         format!("refresh(interval={})", self.interval)
     }
 
-    fn on_activate(&mut self, _addr: RowAddr, _geom: &Geometry) -> Vec<MitigationAction> {
+    fn on_activate(&mut self, _addr: RowAddr, _geom: &Geometry, out: &mut ActionBuf) {
         self.since_last += 1;
         if self.since_last >= self.interval {
             self.since_last = 0;
-            vec![MitigationAction::RefreshAll]
-        } else {
-            Vec::new()
+            out.refresh_all();
         }
     }
 
@@ -54,6 +52,7 @@ impl Mitigation for IncreasedRefresh {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{collect_actions, MitigationAction};
     use rh_core::Geometry;
 
     #[test]
@@ -63,7 +62,7 @@ mod tests {
         let addr = RowAddr::bank_row(0, 1);
         let mut fired_at = Vec::new();
         for i in 1u64..=35 {
-            if !m.on_activate(addr, &geom).is_empty() {
+            if !collect_actions(&mut m, addr, &geom).is_empty() {
                 fired_at.push(i);
             }
         }
@@ -76,14 +75,14 @@ mod tests {
         let mut m = IncreasedRefresh::new(10);
         let addr = RowAddr::bank_row(0, 1);
         for _ in 0..9 {
-            m.on_activate(addr, &geom);
+            collect_actions(&mut m, addr, &geom);
         }
         m.reset();
         for _ in 0..9 {
-            assert!(m.on_activate(addr, &geom).is_empty());
+            assert!(collect_actions(&mut m, addr, &geom).is_empty());
         }
         assert_eq!(
-            m.on_activate(addr, &geom),
+            collect_actions(&mut m, addr, &geom),
             vec![MitigationAction::RefreshAll]
         );
     }

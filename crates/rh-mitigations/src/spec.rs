@@ -134,10 +134,10 @@ mod tests {
         let addr = rh_core::RowAddr::bank_row(0, 8);
         let mut a = spec.build(1000, 1, 0);
         for _ in 0..5 {
-            a.on_activate(addr, &geom);
+            crate::collect_actions(a.as_mut(), addr, &geom);
         }
         // A second build starts from scratch: no shared state.
         let mut b = spec.build(1000, 1, 0);
-        assert!(b.on_activate(addr, &geom).is_empty());
+        assert!(crate::collect_actions(b.as_mut(), addr, &geom).is_empty());
     }
 }

@@ -23,7 +23,7 @@
 //! All state is deterministic (BTreeMaps, count-then-address tie-breaking),
 //! so sweeps using TRR stay bit-identical across thread counts.
 
-use crate::{Mitigation, MitigationAction};
+use crate::{ActionBuf, Mitigation};
 use rh_core::{Geometry, RowAddr};
 use std::collections::BTreeMap;
 
@@ -46,6 +46,9 @@ pub struct Trr {
     /// Per-bank Misra–Gries counters: row → estimated count.
     tables: BTreeMap<BankKey, BTreeMap<RowAddr, u64>>,
     targeted_refreshes: u64,
+    /// Reusable target-selection scratch, so sampling windows allocate only
+    /// until the buffer reaches its steady-state capacity.
+    scratch: Vec<(RowAddr, u64)>,
 }
 
 impl Trr {
@@ -61,6 +64,7 @@ impl Trr {
             acts_in_window: 0,
             tables: BTreeMap::new(),
             targeted_refreshes: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -93,16 +97,25 @@ impl Trr {
         }
     }
 
-    /// Top `refresh_slots` rows of every bank table, ties broken by address
-    /// so target selection is fully deterministic.
-    fn sample_targets(&self) -> Vec<RowAddr> {
-        let mut targets = Vec::new();
+    /// Sampling-window service: refresh the neighbors of the top
+    /// `refresh_slots` rows of every bank table, ties broken by address so
+    /// target selection is fully deterministic. Uses the reusable scratch
+    /// buffer — no per-window allocation once capacity has grown to the
+    /// (bounded) table size.
+    fn service_windows(&mut self, geom: &Geometry, out: &mut ActionBuf) {
+        let mut rows = std::mem::take(&mut self.scratch);
         for table in self.tables.values() {
-            let mut rows: Vec<(RowAddr, u64)> = table.iter().map(|(a, c)| (*a, *c)).collect();
+            rows.clear();
+            rows.extend(table.iter().map(|(a, c)| (*a, *c)));
             rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            targets.extend(rows.into_iter().take(self.refresh_slots).map(|(a, _)| a));
+            for &(target, _) in rows.iter().take(self.refresh_slots) {
+                self.targeted_refreshes += 1;
+                for (victim, _) in target.neighbors(geom, self.radius) {
+                    out.refresh_row(victim);
+                }
+            }
         }
-        targets
+        self.scratch = rows;
     }
 }
 
@@ -118,22 +131,16 @@ impl Mitigation for Trr {
         )
     }
 
-    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry) -> Vec<MitigationAction> {
+    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry, out: &mut ActionBuf) {
         self.observe(addr);
         self.acts_in_window += 1;
         if !self.acts_in_window.is_multiple_of(self.sample_interval) {
-            return Vec::new();
+            return;
         }
-        let targets = self.sample_targets();
-        self.targeted_refreshes += targets.len() as u64;
         // Counters are intentionally NOT rewound after a targeted refresh:
         // real samplers keep favoring the hottest rows, which is exactly why
         // aggressors beyond the slot budget are never serviced.
-        targets
-            .into_iter()
-            .flat_map(|t| t.neighbors(geom, self.radius))
-            .map(|(victim, _)| MitigationAction::RefreshRow(victim))
-            .collect()
+        self.service_windows(geom, out);
     }
 
     /// tREFW boundary: flush every bank table and realign sampling windows.
@@ -147,16 +154,20 @@ impl Mitigation for Trr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MitigationAction;
     use rh_core::Geometry;
 
     /// Drive `w` for `n` activations, returning victim rows refreshed.
     fn drive(trr: &mut Trr, geom: &Geometry, pattern: &[RowAddr], n: u64) -> Vec<RowAddr> {
         let mut refreshed = Vec::new();
+        let mut buf = ActionBuf::new();
         for i in 0..n {
             let addr = pattern[(i % pattern.len() as u64) as usize];
-            for action in trr.on_activate(addr, geom) {
+            buf.clear();
+            trr.on_activate(addr, geom, &mut buf);
+            for action in buf.actions() {
                 match action {
-                    MitigationAction::RefreshRow(r) => refreshed.push(r),
+                    MitigationAction::RefreshRow(r) => refreshed.push(*r),
                     MitigationAction::RefreshAll => unreachable!("TRR never refreshes all"),
                 }
             }
@@ -217,9 +228,10 @@ mod tests {
         let geom = Geometry::tiny(256);
         let mut trr = Trr::new(4, 1, 1_000_000, 1);
         let aggr = RowAddr::bank_row(0, 100);
+        let mut buf = ActionBuf::new();
         for i in 0u32..500 {
-            trr.on_activate(aggr, &geom);
-            trr.on_activate(RowAddr::bank_row(0, i % 64), &geom);
+            trr.on_activate(aggr, &geom, &mut buf);
+            trr.on_activate(RowAddr::bank_row(0, i % 64), &geom, &mut buf);
         }
         assert!(trr.estimate(aggr) <= 500);
         assert!(trr.estimate(aggr) > 0, "heavy hitter must stay tracked");
@@ -230,8 +242,9 @@ mod tests {
         let geom = Geometry::tiny(64);
         let mut trr = Trr::new(8, 2, 100, 1);
         let aggr = RowAddr::bank_row(0, 30);
+        let mut buf = ActionBuf::new();
         for _ in 0..60 {
-            trr.on_activate(aggr, &geom);
+            trr.on_activate(aggr, &geom, &mut buf);
         }
         assert!(trr.estimate(aggr) > 0);
         trr.reset();

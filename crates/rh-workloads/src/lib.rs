@@ -10,6 +10,14 @@
 //! the engine in `rh-cli` pulls a fixed budget of activations from it.
 //! [`WorkloadSpec`] is the serializable factory form carried by sweep plans:
 //! executor threads expand a spec into a fresh stream per cell.
+//!
+//! Hot-path invariant: `next_access` never allocates. Every generator here
+//! steps fixed state (an aggressor cursor, a toggle, an RNG) and returns a
+//! `Copy` address; `ManySided` materializes its aggressor list once at
+//! construction. The only allocating method is `name()`, which the engine
+//! calls exactly once per run (for the result row), never per activation.
+//! New workloads must preserve this — the per-activation engine loop is
+//! allocation-free end to end (see `rh-cli::engine`).
 
 pub mod spec;
 
