@@ -6,33 +6,39 @@
 //! (the paper's Section 8 generational→projected axis, where mitigation
 //! overheads explode as chips weaken), all five mitigation arms, three
 //! attack patterns, 2M activations per cell — twice through the identical
-//! engine loop:
+//! experiment semantics:
 //!
 //! * **legacy**: the retained pre-optimization path — a fresh
 //!   [`EagerDeviceState`] per cell (thresholds re-derived, eager
 //!   O(total_rows) `refresh_all` zeroing, per-activation `powi`, full-scan
-//!   flip-row counting) with a fresh action buffer per cell;
+//!   flip-row counting), the **map-based counter mitigations**
+//!   (`rh_mitigations::reference`: `HashMap` Graphene, nested-`BTreeMap`
+//!   TRR) behind `Box<dyn Mitigation>`, and the unbatched step-at-a-time
+//!   loop with one virtual workload call and one virtual mitigation call
+//!   per activation;
 //! * **optimized**: the shipping path — `Arc`-shared [`DeviceTables`],
-//!   epoch-based O(1) refresh, reused per-worker `DeviceState` + action
-//!   sink (exactly what `rh-cli sweep` executes).
+//!   epoch-based O(1) refresh, flat cache-resident counter tables
+//!   (`FlatCounterTable`), batched workload pulls (`fill_batch`), and
+//!   monomorphized `MitigationKind` dispatch (exactly what `rh-cli sweep`
+//!   executes).
 //!
 //! Both paths must produce **identical** `RunResult`s for every cell — this
-//! doubles as the benchmark's determinism/equivalence check, and the run
-//! fails (non-zero exit) if it regresses. The report (`BENCH_3.json`)
-//! records per-cell and aggregate wall times, activations/sec for both
-//! paths, the speedup, and the peak single-cell activation rate.
-//!
-//! Both paths share the current mitigation implementations (only the
-//! device/engine side differs), so the reported speedup is a lower bound on
-//! the comparison against the actual pre-PR binary: any mitigation-internal
-//! improvement speeds up both sides equally.
+//! doubles as the benchmark's determinism/equivalence check (and as a
+//! differential test of the flat counter tables against their map-based
+//! references at full scale), and the run fails (non-zero exit) if it
+//! regresses. Each cell is timed `--repeat` times per path and the minimum
+//! is reported, so one scheduling hiccup cannot skew a cell. The report
+//! (`BENCH_4.json`) records the toolchain (`rustc --version`) and git
+//! revision alongside per-cell times, a per-mitigation breakdown, and
+//! aggregate activations/sec for both paths.
 
-use crate::engine::{run_experiment, RunResult};
+use crate::engine::RunResult;
 use crate::exec::{build_table_cache, Worker};
 use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
 use crate::sweep::SweepConfig;
-use rh_core::{EagerDeviceState, Geometry, VictimModelParams};
-use rh_mitigations::ActionBuf;
+use rh_core::{Device, EagerDeviceState, Geometry, VictimModelParams};
+use rh_mitigations::{reference::build_reference, ActionBuf, Mitigation, MitigationAction};
+use rh_workloads::Workload;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -44,13 +50,23 @@ pub struct BenchOptions {
     pub quick: bool,
     /// Where to write the JSON report.
     pub out_path: String,
+    /// Timing runs per cell per path; the minimum is reported.
+    pub repeat: usize,
+    /// Only run cells whose `workload/mitigation` label contains this.
+    pub filter: Option<String>,
+    /// Fail the run if aggregate optimized throughput lands below this
+    /// (the CI perf guard hook; `None` disables).
+    pub min_acts_per_sec: Option<f64>,
 }
 
 impl Default for BenchOptions {
     fn default() -> Self {
         Self {
             quick: false,
-            out_path: "BENCH_3.json".to_string(),
+            out_path: "BENCH_4.json".to_string(),
+            repeat: 3,
+            filter: None,
+            min_acts_per_sec: None,
         }
     }
 }
@@ -90,11 +106,23 @@ pub fn reference_config(quick: bool) -> SweepConfig {
     }
 }
 
-/// Timing of one cell under both paths.
+/// Timing of one cell under both paths (minimum over `repeat` runs each).
 #[derive(Debug, Clone)]
 pub struct CellTiming {
     pub workload: String,
     pub mitigation: String,
+    pub hc_first: u64,
+    pub legacy_secs: f64,
+    pub optimized_secs: f64,
+}
+
+/// Aggregate timing of all cells sharing one mitigation family (the name up
+/// to its parameter list) — the per-mitigation breakdown that shows where
+/// the counter-table rewrite lands.
+#[derive(Debug, Clone)]
+pub struct MitigationBreakdown {
+    pub mitigation: String,
+    pub cells: usize,
     pub legacy_secs: f64,
     pub optimized_secs: f64,
 }
@@ -105,7 +133,14 @@ pub struct BenchReport {
     pub quick: bool,
     pub geometry: Geometry,
     pub activations_per_cell: u64,
+    pub repeat: usize,
+    pub filter: Option<String>,
+    /// `rustc --version` of the ambient toolchain ("unknown" if absent).
+    pub rustc_version: String,
+    /// `git rev-parse --short HEAD` ("unknown" outside a checkout).
+    pub git_revision: String,
     pub cells: Vec<CellTiming>,
+    pub breakdown: Vec<MitigationBreakdown>,
     pub legacy_secs: f64,
     pub optimized_secs: f64,
     pub legacy_acts_per_sec: f64,
@@ -118,23 +153,69 @@ pub struct BenchReport {
     pub equivalent: bool,
 }
 
+/// The pre-optimization engine loop: step-at-a-time, one virtual workload
+/// call and one virtual mitigation call per activation. Semantics are
+/// identical to [`run_experiment`]; only the dispatch/batching differs.
+fn run_unbatched(
+    device: &mut impl Device,
+    workload: &mut dyn Workload,
+    mitigation: &mut dyn Mitigation,
+    activations: u64,
+    auto_refresh_interval: u64,
+    actions: &mut ActionBuf,
+) -> RunResult {
+    let geom = *device.geometry();
+    for step in 1..=activations {
+        let addr = workload.next_access();
+        actions.clear();
+        mitigation.on_activate(addr, &geom, actions);
+        device.activate(addr);
+        for action in actions.actions() {
+            match *action {
+                MitigationAction::RefreshRow(row) => device.refresh_row(row),
+                MitigationAction::RefreshAll => device.refresh_all(),
+            }
+        }
+        if auto_refresh_interval > 0 && step % auto_refresh_interval == 0 {
+            device.refresh_all();
+            mitigation.reset();
+        }
+    }
+    RunResult {
+        workload: workload.name(),
+        mitigation: mitigation.name(),
+        hc_first: device.params().hc_first,
+        activations,
+        total_flips: device.total_flips(),
+        flipped_rows: device.flipped_rows(),
+        flips_per_mact: device.flips_per_mact(),
+        refreshes_issued: device.refreshes_issued(),
+    }
+}
+
 /// Run one cell the pre-optimization way: fresh eager device (thresholds
-/// re-derived per cell), fresh action buffer, eager full-device refreshes.
+/// re-derived per cell), map-based counter mitigations, fresh action
+/// buffer, unbatched dyn-dispatch loop.
 fn run_cell_legacy(plan: &SweepPlan, cell: &CellSpec) -> RunResult {
     let params = VictimModelParams::with_hc_first(cell.hc_first);
     let mut device = EagerDeviceState::new(plan.config.geometry, params, cell.seeds.device);
-    let mut workload = cell
-        .workload
-        .build(
-            &plan.config.geometry,
-            plan.config.benign_fraction,
-            cell.seeds.workload,
-        )
-        .expect("workloads are validated at plan time");
-    let mut mitigation = cell
-        .mitigation
-        .build(cell.hc_first, BLAST_RADIUS, cell.seeds.mitigation);
-    run_experiment(
+    // Boxed: the legacy loop pays the historical virtual call per access.
+    let mut workload: Box<dyn Workload> = Box::new(
+        cell.workload
+            .build(
+                &plan.config.geometry,
+                plan.config.benign_fraction,
+                cell.seeds.workload,
+            )
+            .expect("workloads are validated at plan time"),
+    );
+    let mut mitigation = build_reference(
+        &cell.mitigation,
+        cell.hc_first,
+        BLAST_RADIUS,
+        cell.seeds.mitigation,
+    );
+    run_unbatched(
         &mut device,
         workload.as_mut(),
         mitigation.as_mut(),
@@ -155,60 +236,162 @@ fn results_identical(a: &RunResult, b: &RunResult) -> bool {
         && a.refreshes_issued == b.refreshes_issued
 }
 
-/// Run the reference sweep under both paths, timing each cell, and check
-/// the paths agree on every result.
+/// `workload/mitigation` display label of a cell, for `--filter` matching.
+fn cell_label(plan: &SweepPlan, cell: &CellSpec) -> String {
+    let workload = cell
+        .workload
+        .build(
+            &plan.config.geometry,
+            plan.config.benign_fraction,
+            cell.seeds.workload,
+        )
+        .expect("workloads are validated at plan time")
+        .name();
+    let mitigation = cell
+        .mitigation
+        .build(&plan.config.geometry, cell.hc_first, BLAST_RADIUS, 0)
+        .name();
+    format!("{workload}/{mitigation}")
+}
+
+/// Output of an external command's first line, or "unknown". Used for the
+/// report's toolchain/revision metadata — informational only, never part of
+/// the timed or checked work.
+fn tool_version(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .and_then(|s| s.lines().next().map(str::trim).map(String::from))
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Mitigation family: the name up to its parameter list.
+fn family(mitigation: &str) -> &str {
+    mitigation.split('(').next().unwrap_or(mitigation)
+}
+
+/// Run the reference sweep under both paths, timing each cell (minimum over
+/// `repeat` runs per path), and check the paths agree on every result.
 pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
+    if opts.repeat == 0 {
+        return Err("--repeat must be at least 1".to_string());
+    }
     let cfg = reference_config(opts.quick);
     let plan = SweepPlan::from_config(&cfg)?;
+    let cells: Vec<&CellSpec> = plan
+        .grid
+        .iter()
+        .filter(|cell| match &opts.filter {
+            Some(f) => cell_label(&plan, cell).contains(f.as_str()),
+            None => true,
+        })
+        .collect();
+    if cells.is_empty() {
+        return Err(format!(
+            "--filter '{}' matches no bench cells",
+            opts.filter.as_deref().unwrap_or("")
+        ));
+    }
     let tables = build_table_cache(&plan, &plan.grid);
     let mut worker = Worker::new();
 
     // Warm up both paths on the first cell (page-faults the big vectors in)
     // so the timed loop measures steady-state throughput.
-    let warm = &plan.grid[0];
+    let warm = cells[0];
     let _ = run_cell_legacy(&plan, warm);
     let _ = worker.run_cell(&plan, warm, &tables);
 
-    let mut cells = Vec::with_capacity(plan.grid.len());
+    // Repeats are interleaved — the repeat loop wraps the whole cell sweep
+    // rather than hammering one cell `repeat` times back-to-back — so a
+    // cell's timing samples land minutes apart and the reported minimum is
+    // robust against transient load on the host (a slow window then costs
+    // one sample of every cell instead of every sample of one cell).
+    let mut lt = vec![f64::INFINITY; cells.len()];
+    let mut ot = vec![f64::INFINITY; cells.len()];
+    let mut results: Vec<Option<RunResult>> = vec![None; cells.len()];
     let mut equivalent = true;
+    for rep in 0..opts.repeat {
+        for (ci, cell) in cells.iter().enumerate() {
+            let t0 = Instant::now();
+            let legacy = run_cell_legacy(&plan, cell);
+            lt[ci] = lt[ci].min(t0.elapsed().as_secs_f64());
+
+            let t1 = Instant::now();
+            let optimized = worker.run_cell(&plan, cell, &tables);
+            ot[ci] = ot[ci].min(t1.elapsed().as_secs_f64());
+
+            if rep == 0 {
+                if !results_identical(&legacy, &optimized) {
+                    equivalent = false;
+                    eprintln!(
+                        "bench equivalence FAILED: {} / {} — legacy flips {} vs optimized {}",
+                        legacy.workload,
+                        legacy.mitigation,
+                        legacy.total_flips,
+                        optimized.total_flips
+                    );
+                }
+                results[ci] = Some(optimized);
+            }
+        }
+    }
+
+    let mut timings = Vec::with_capacity(cells.len());
     let mut legacy_secs = 0.0;
     let mut optimized_secs = 0.0;
     let mut peak = 0.0f64;
-    for cell in &plan.grid {
-        let t0 = Instant::now();
-        let legacy = run_cell_legacy(&plan, cell);
-        let lt = t0.elapsed().as_secs_f64();
-
-        let t1 = Instant::now();
-        let optimized = worker.run_cell(&plan, cell, &tables);
-        let ot = t1.elapsed().as_secs_f64();
-
-        if !results_identical(&legacy, &optimized) {
-            equivalent = false;
-            eprintln!(
-                "bench equivalence FAILED: {} / {} — legacy flips {} vs optimized {}",
-                legacy.workload, legacy.mitigation, legacy.total_flips, optimized.total_flips
-            );
-        }
-        legacy_secs += lt;
-        optimized_secs += ot;
-        peak = peak.max(cell.activations as f64 / ot);
-        cells.push(CellTiming {
-            workload: optimized.workload.clone(),
-            mitigation: optimized.mitigation.clone(),
-            legacy_secs: lt,
-            optimized_secs: ot,
+    for (ci, cell) in cells.iter().enumerate() {
+        let result = results[ci].take().expect("first pass filled every cell");
+        legacy_secs += lt[ci];
+        optimized_secs += ot[ci];
+        peak = peak.max(cell.activations as f64 / ot[ci]);
+        timings.push(CellTiming {
+            workload: result.workload,
+            mitigation: result.mitigation,
+            hc_first: cell.hc_first,
+            legacy_secs: lt[ci],
+            optimized_secs: ot[ci],
         });
     }
 
-    let total_acts = (plan.grid.len() as u64 * cfg.activations) as f64;
+    // Per-mitigation-family aggregation, in first-seen (plan) order.
+    let mut breakdown: Vec<MitigationBreakdown> = Vec::new();
+    for t in &timings {
+        let fam = family(&t.mitigation);
+        let row = match breakdown.iter_mut().find(|b| b.mitigation == fam) {
+            Some(row) => row,
+            None => {
+                breakdown.push(MitigationBreakdown {
+                    mitigation: fam.to_string(),
+                    cells: 0,
+                    legacy_secs: 0.0,
+                    optimized_secs: 0.0,
+                });
+                breakdown.last_mut().expect("just pushed")
+            }
+        };
+        row.cells += 1;
+        row.legacy_secs += t.legacy_secs;
+        row.optimized_secs += t.optimized_secs;
+    }
+
+    let total_acts = (cells.len() as u64 * cfg.activations) as f64;
     let legacy_rate = total_acts / legacy_secs;
     let optimized_rate = total_acts / optimized_secs;
     Ok(BenchReport {
         quick: opts.quick,
         geometry: cfg.geometry,
         activations_per_cell: cfg.activations,
-        cells,
+        repeat: opts.repeat,
+        filter: opts.filter.clone(),
+        rustc_version: tool_version("rustc", &["--version"]),
+        git_revision: tool_version("git", &["rev-parse", "--short", "HEAD"]),
+        cells: timings,
+        breakdown,
         legacy_secs,
         optimized_secs,
         legacy_acts_per_sec: legacy_rate,
@@ -227,33 +410,83 @@ fn fnum(x: f64) -> String {
     }
 }
 
-/// Render the report as a JSON document (the `BENCH_3.json` artifact).
+/// Minimal JSON string escaping for metadata fields (the hand-rolled
+/// emitter elsewhere only handles known-clean names).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render the report as a JSON document (the `BENCH_4.json` artifact).
 pub fn render(report: &BenchReport) -> String {
     let mut rows = String::new();
     for (i, c) in report.cells.iter().enumerate() {
         let sep = if i + 1 < report.cells.len() { "," } else { "" };
         let _ = writeln!(
             rows,
-            "    {{\"workload\": \"{}\", \"mitigation\": \"{}\", \
+            "    {{\"workload\": \"{}\", \"mitigation\": \"{}\", \"hc_first\": {}, \
              \"legacy_secs\": {}, \"optimized_secs\": {}, \"speedup\": {}}}{sep}",
             c.workload,
             c.mitigation,
+            c.hc_first,
             fnum(c.legacy_secs),
             fnum(c.optimized_secs),
             fnum(c.legacy_secs / c.optimized_secs),
+        );
+    }
+    let mut fams = String::new();
+    for (i, b) in report.breakdown.iter().enumerate() {
+        let sep = if i + 1 < report.breakdown.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            fams,
+            "    {{\"mitigation\": \"{}\", \"cells\": {}, \"legacy_secs\": {}, \
+             \"optimized_secs\": {}, \"speedup\": {}}}{sep}",
+            b.mitigation,
+            b.cells,
+            fnum(b.legacy_secs),
+            fnum(b.optimized_secs),
+            fnum(b.legacy_secs / b.optimized_secs),
         );
     }
     let g = &report.geometry;
     format!(
         "{{\n  \"bench\": \"reference sweep (hc_first in {{4096,512,128}}, all mitigations)\",\n  \
          \"quick\": {},\n  \
+         \"repeat\": {},\n  \
+         \"filter\": {},\n  \
+         \"rustc\": {},\n  \
+         \"git_revision\": {},\n  \
          \"geometry\": {{\"channels\": {}, \"ranks\": {}, \"banks\": {}, \"rows_per_bank\": {}}},\n  \
          \"activations_per_cell\": {},\n  \
          \"cells\": [\n{rows}  ],\n  \
+         \"mitigation_breakdown\": [\n{fams}  ],\n  \
          \"legacy\": {{\"wall_secs\": {}, \"acts_per_sec\": {}}},\n  \
          \"optimized\": {{\"wall_secs\": {}, \"acts_per_sec\": {}, \"peak_cell_acts_per_sec\": {}}},\n  \
          \"speedup\": {},\n  \"equivalent\": {}\n}}",
         report.quick,
+        report.repeat,
+        report
+            .filter
+            .as_deref()
+            .map_or("null".to_string(), jstr),
+        jstr(&report.rustc_version),
+        jstr(&report.git_revision),
         g.channels,
         g.ranks,
         g.banks,
@@ -304,14 +537,60 @@ mod tests {
     }
 
     #[test]
+    fn filter_selects_matching_cells_and_rejects_nonsense() {
+        let opts = BenchOptions {
+            quick: true,
+            repeat: 1,
+            filter: Some("no-such-cell".to_string()),
+            ..BenchOptions::default()
+        };
+        assert!(run_bench(&opts).is_err());
+
+        let cfg = reference_config(true);
+        let plan = SweepPlan::from_config(&cfg).unwrap();
+        let matching = plan
+            .grid
+            .iter()
+            .filter(|c| cell_label(&plan, c).contains("graphene"))
+            .count();
+        assert_eq!(matching, 9, "3 hc × 3 workloads of graphene cells");
+    }
+
+    #[test]
+    fn zero_repeat_is_rejected() {
+        let opts = BenchOptions {
+            repeat: 0,
+            ..BenchOptions::default()
+        };
+        assert!(run_bench(&opts).is_err());
+    }
+
+    #[test]
+    fn family_strips_parameter_list() {
+        assert_eq!(family("graphene(k=64,t=512)"), "graphene");
+        assert_eq!(family("none"), "none");
+    }
+
+    #[test]
     fn report_renders_valid_shape() {
         let report = BenchReport {
             quick: true,
             geometry: Geometry::tiny(64),
             activations_per_cell: 10,
+            repeat: 3,
+            filter: Some("trr".to_string()),
+            rustc_version: "rustc 1.0 \"quoted\"".to_string(),
+            git_revision: "abc1234".to_string(),
             cells: vec![CellTiming {
                 workload: "w".into(),
+                mitigation: "m(k=1)".into(),
+                hc_first: 128,
+                legacy_secs: 0.5,
+                optimized_secs: 0.1,
+            }],
+            breakdown: vec![MitigationBreakdown {
                 mitigation: "m".into(),
+                cells: 1,
                 legacy_secs: 0.5,
                 optimized_secs: 0.1,
             }],
@@ -327,6 +606,16 @@ mod tests {
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains("\"speedup\": 5.000"));
         assert!(s.contains("\"equivalent\": true"));
+        assert!(s.contains("\"repeat\": 3"));
+        assert!(s.contains("\"filter\": \"trr\""));
+        assert!(s.contains("\"rustc\": \"rustc 1.0 \\\"quoted\\\"\""));
+        assert!(s.contains("\"mitigation_breakdown\""));
+        assert!(s.contains("\"hc_first\": 128"));
         assert!(!s.contains("NaN"));
+    }
+
+    #[test]
+    fn metadata_falls_back_to_unknown() {
+        assert_eq!(tool_version("definitely-not-a-command-9q", &[]), "unknown");
     }
 }

@@ -12,7 +12,8 @@ rh-cli — RowHammer mitigation sweep (Kim et al., ISCA 2020 reproduction)
 
 USAGE:
     rh-cli sweep [OPTIONS]
-    rh-cli bench [--quick] [--out <PATH>]
+    rh-cli bench [--quick] [--out <PATH>] [--repeat <N>] [--filter <SUBSTR>]
+                 [--min-acts-per-sec <RATE>]
 
 SWEEP OPTIONS:
     --seed <N>              RNG seed for device + mitigations (default 0xC0FFEE)
@@ -29,11 +30,19 @@ SWEEP OPTIONS:
 
 BENCH OPTIONS:
     --quick                 shrink the reference sweep for CI smoke runs
-    --out <PATH>            report path (default BENCH_3.json)
+    --out <PATH>            report path (default BENCH_4.json)
+    --repeat <N>            timing runs per cell per path, min reported
+                            (default 3)
+    --filter <SUBSTR>       only run cells whose workload/mitigation label
+                            contains SUBSTR
+    --min-acts-per-sec <R>  exit non-zero if aggregate optimized throughput
+                            falls below R (CI perf guard)
 
-bench times the pinned reference sweep under the optimized hot path and the
-retained pre-optimization (eager-refresh) path, verifies both produce
-identical results, and writes a JSON report with before/after throughput.
+bench times the pinned reference sweep under the optimized hot path (flat
+counter tables, batched engine, epoch-based refresh) and the retained
+pre-optimization path (map-based counters, unbatched dyn dispatch, eager
+refresh), verifies both produce identical results, and writes a JSON report
+with before/after throughput plus a per-mitigation breakdown.
 ";
 
 /// Fully parsed invocation: the sweep config plus execution options that
@@ -63,15 +72,33 @@ pub enum BenchInvocation {
 pub fn parse_bench_args(args: &[String]) -> Result<BenchInvocation, String> {
     let mut opts = BenchOptions::default();
     let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => opts.quick = true,
-            "--out" => {
-                i += 1;
-                opts.out_path = args
-                    .get(i)
-                    .cloned()
-                    .ok_or_else(|| "--out requires a value".to_string())?;
+            "--out" => opts.out_path = value(&mut i, "--out")?,
+            "--repeat" => {
+                let v = value(&mut i, "--repeat")?;
+                opts.repeat = v.parse().map_err(|_| format!("invalid --repeat '{v}'"))?;
+                if opts.repeat == 0 {
+                    return Err("--repeat must be at least 1".to_string());
+                }
+            }
+            "--filter" => opts.filter = Some(value(&mut i, "--filter")?),
+            "--min-acts-per-sec" => {
+                let v = value(&mut i, "--min-acts-per-sec")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --min-acts-per-sec '{v}'"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(format!("--min-acts-per-sec must be positive, got '{v}'"));
+                }
+                opts.min_acts_per_sec = Some(rate);
             }
             "-h" | "--help" => return Ok(BenchInvocation::Help),
             other => return Err(format!("unknown bench option '{other}'")),
@@ -306,23 +333,53 @@ mod tests {
         match parse_bench_args(&[]).unwrap() {
             BenchInvocation::Bench(o) => {
                 assert!(!o.quick);
-                assert_eq!(o.out_path, "BENCH_3.json");
+                assert_eq!(o.out_path, "BENCH_4.json");
+                assert_eq!(o.repeat, 3);
+                assert_eq!(o.filter, None);
+                assert_eq!(o.min_acts_per_sec, None);
             }
             BenchInvocation::Help => panic!("unexpected help"),
         }
-        let owned: Vec<String> = ["--quick", "--out", "x.json"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let owned: Vec<String> = [
+            "--quick",
+            "--out",
+            "x.json",
+            "--repeat",
+            "5",
+            "--filter",
+            "graphene",
+            "--min-acts-per-sec",
+            "1000000",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         match parse_bench_args(&owned).unwrap() {
             BenchInvocation::Bench(o) => {
                 assert!(o.quick);
                 assert_eq!(o.out_path, "x.json");
+                assert_eq!(o.repeat, 5);
+                assert_eq!(o.filter.as_deref(), Some("graphene"));
+                assert_eq!(o.min_acts_per_sec, Some(1_000_000.0));
             }
             BenchInvocation::Help => panic!("unexpected help"),
         }
-        assert!(parse_bench_args(&["--out".to_string()]).is_err());
-        assert!(parse_bench_args(&["--bogus".to_string()]).is_err());
+        for bad in [
+            &["--out"][..],
+            &["--bogus"],
+            &["--repeat", "0"],
+            &["--repeat", "x"],
+            &["--filter"],
+            &["--min-acts-per-sec", "-5"],
+            &["--min-acts-per-sec", "NaN"],
+            &["--min-acts-per-sec", "nope"],
+        ] {
+            let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                parse_bench_args(&owned).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
         assert!(matches!(
             parse_bench_args(&["--help".to_string()]),
             Ok(BenchInvocation::Help)

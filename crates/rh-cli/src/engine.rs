@@ -8,16 +8,54 @@
 //! real DRAM performs every tREFW is modeled as a full-device refresh every
 //! `auto_refresh_interval` activations.
 //!
+//! ## Hot-loop shape
+//!
+//! The loop is **batched**: activations are pulled from the workload in
+//! fixed-size chunks ([`BATCH`]) into a reusable buffer via
+//! [`Workload::fill_batch`] — one virtual call per chunk, with the fill
+//! loop monomorphized inside the concrete workload — and the per-chunk
+//! inner loop applies mitigation observation, device charge updates, victim
+//! settling, and mitigation actions with zero virtual dispatch: the engine
+//! is generic over [`Device`] *and* [`Mitigation`], and the executor
+//! instantiates it with the [`rh_mitigations::MitigationKind`] enum, so
+//! per-activation mitigation dispatch is a match on a variant tag that
+//! inlines each `on_activate` body into the loop. Chunks are clipped to the
+//! next tREFW boundary, so batching is byte-identical to the unbatched
+//! step-at-a-time loop (which the benchmark harness retains as its legacy
+//! path).
+//!
 //! The loop is allocation-free: the caller supplies the device (built once
-//! per worker thread and reset per cell), and one [`ActionBuf`] sink is
-//! cleared and refilled per activation instead of collecting a fresh `Vec`.
-//! The engine is generic over [`Device`] so the benchmark harness and
-//! differential tests can drive the retained eager reference implementation
-//! through the identical loop.
+//! per worker thread and reset per cell) and an [`EngineScratch`] whose
+//! action sink and chunk buffer reach steady-state capacity within the
+//! first chunk and are reused for the rest of the run.
 
 use rh_core::{Device, RowAddr};
 use rh_mitigations::{ActionBuf, Mitigation, MitigationAction};
 use rh_workloads::Workload;
+
+/// Activations pulled from the workload per chunk. Large enough to amortize
+/// the per-chunk virtual call to nothing, small enough that the chunk
+/// buffer (16 bytes/address → 16 KiB) stays L1-resident.
+pub const BATCH: usize = 1024;
+
+/// Reusable per-run buffers for the engine hot loop: the mitigation action
+/// sink and the workload chunk buffer. One instance per worker thread,
+/// reused across every cell the worker executes.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    /// Sink the mitigation writes refresh actions into (cleared per
+    /// activation, capacity retained).
+    actions: ActionBuf,
+    /// Chunk of upcoming activations (refilled per [`BATCH`], capacity
+    /// retained).
+    batch: Vec<RowAddr>,
+}
+
+impl EngineScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Outcome of a single experiment run.
 #[derive(Debug, Clone)]
@@ -33,37 +71,60 @@ pub struct RunResult {
 }
 
 /// Drive `workload` through `mitigation` into `device` for `activations`
-/// steps, emitting mitigation actions into the reusable `actions` sink.
+/// steps, using `scratch` for the chunk buffer and action sink.
 ///
 /// The device must be freshly constructed or reset
 /// (`DeviceState::reset_for_cell`) — the engine accounts activations and
 /// flips from zero. Determinism: the result is a pure function of the
 /// device's tables/seed and the workload/mitigation construction seeds,
 /// which is the basis for common-random-number comparisons across
-/// mitigations and for byte-identical sharded sweeps.
-pub fn run_experiment<D: Device>(
+/// mitigations and for byte-identical sharded sweeps. Chunking never
+/// crosses a tREFW boundary, so results are identical for any chunk size —
+/// including the unbatched step-at-a-time loop the benchmark harness
+/// retains as its legacy path.
+pub fn run_experiment<D, W, M>(
     device: &mut D,
-    workload: &mut dyn Workload,
-    mitigation: &mut dyn Mitigation,
+    workload: &mut W,
+    mitigation: &mut M,
     activations: u64,
     auto_refresh_interval: u64,
-    actions: &mut ActionBuf,
-) -> RunResult {
+    scratch: &mut EngineScratch,
+) -> RunResult
+where
+    D: Device,
+    W: Workload + ?Sized,
+    M: Mitigation + ?Sized,
+{
     let geom = *device.geometry();
-    for step in 1..=activations {
-        let addr: RowAddr = workload.next_access();
-        actions.clear();
-        mitigation.on_activate(addr, &geom, actions);
-        device.activate(addr);
-        for action in actions.actions() {
-            match *action {
-                MitigationAction::RefreshRow(row) => device.refresh_row(row),
-                MitigationAction::RefreshAll => device.refresh_all(),
+    let EngineScratch { actions, batch } = scratch;
+    let mut remaining = activations;
+    let mut until_refresh = if auto_refresh_interval > 0 {
+        auto_refresh_interval
+    } else {
+        u64::MAX
+    };
+    while remaining > 0 {
+        let n = remaining.min(until_refresh).min(BATCH as u64);
+        workload.fill_batch(batch, n as usize);
+        for &addr in batch.iter() {
+            actions.clear();
+            mitigation.on_activate(addr, &geom, actions);
+            device.activate(addr);
+            for action in actions.actions() {
+                match *action {
+                    MitigationAction::RefreshRow(row) => device.refresh_row(row),
+                    MitigationAction::RefreshAll => device.refresh_all(),
+                }
             }
         }
-        if auto_refresh_interval > 0 && step % auto_refresh_interval == 0 {
-            device.refresh_all();
-            mitigation.reset();
+        remaining -= n;
+        if auto_refresh_interval > 0 {
+            until_refresh -= n;
+            if until_refresh == 0 {
+                device.refresh_all();
+                mitigation.reset();
+                until_refresh = auto_refresh_interval;
+            }
         }
     }
     RunResult {
@@ -99,7 +160,7 @@ mod tests {
             &mut NoMitigation,
             activations,
             refresh_interval,
-            &mut ActionBuf::new(),
+            &mut EngineScratch::new(),
         )
     }
 
@@ -116,6 +177,39 @@ mod tests {
         assert_eq!(r.total_flips, 0);
     }
 
+    /// Chunking must not move the tREFW boundary: intervals that are not
+    /// multiples of BATCH (and smaller than BATCH) must refresh at exactly
+    /// the same activation counts as the step-at-a-time loop.
+    #[test]
+    fn batched_refresh_boundaries_match_unbatched_loop() {
+        let geom = Geometry::tiny(64);
+        let params = VictimModelParams::with_hc_first(1000);
+        for interval in [1u64, 499, 500, 1000, 1023, 1024, 1025, 4096, 7777] {
+            for activations in [5_000u64, 5_120] {
+                let batched = run(geom, params, activations, interval);
+                // Reference: unbatched loop, refresh when step % interval == 0.
+                let mut device = DeviceState::new(geom, params, 1);
+                let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
+                for step in 1..=activations {
+                    device.activate(w.next_access());
+                    if step % interval == 0 {
+                        device.refresh_all();
+                    }
+                }
+                assert_eq!(
+                    batched.refreshes_issued,
+                    device.refreshes_issued(),
+                    "interval {interval} acts {activations}"
+                );
+                assert_eq!(
+                    batched.total_flips,
+                    device.total_flips(),
+                    "interval {interval} acts {activations}"
+                );
+            }
+        }
+    }
+
     fn drive<D: Device>(device: &mut D) -> RunResult {
         let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
         run_experiment(
@@ -124,7 +218,7 @@ mod tests {
             &mut NoMitigation,
             5_000,
             1_500,
-            &mut ActionBuf::new(),
+            &mut EngineScratch::new(),
         )
     }
 

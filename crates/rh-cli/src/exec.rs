@@ -21,10 +21,9 @@
 //!   (`reset_for_cell`) instead of reallocating charge/activation/flip
 //!   vectors for every cell.
 
-use crate::engine::{run_experiment, RunResult};
+use crate::engine::{run_experiment, EngineScratch, RunResult};
 use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
 use rh_core::{DeviceState, DeviceTables, VictimModelParams};
-use rh_mitigations::ActionBuf;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -51,17 +50,18 @@ pub(crate) fn build_table_cache(plan: &SweepPlan, cells: &[CellSpec]) -> TableCa
 }
 
 /// One worker's reusable simulation state: a device whose buffers persist
-/// across the cells this worker executes, and the mitigation action sink.
+/// across the cells this worker executes, and the engine scratch (action
+/// sink + workload chunk buffer).
 pub(crate) struct Worker {
     device: Option<DeviceState>,
-    actions: ActionBuf,
+    scratch: EngineScratch,
 }
 
 impl Worker {
     pub(crate) fn new() -> Self {
         Self {
             device: None,
-            actions: ActionBuf::new(),
+            scratch: EngineScratch::new(),
         }
     }
 
@@ -91,16 +91,21 @@ impl Worker {
                 cell.seeds.workload,
             )
             .expect("workloads are validated at plan time");
-        let mut mitigation =
-            cell.mitigation
-                .build(cell.hc_first, BLAST_RADIUS, cell.seeds.mitigation);
+        // MitigationKind, not Box<dyn Mitigation>: the engine monomorphizes
+        // over it, so per-activation dispatch is an inlined variant match.
+        let mut mitigation = cell.mitigation.build(
+            &plan.config.geometry,
+            cell.hc_first,
+            BLAST_RADIUS,
+            cell.seeds.mitigation,
+        );
         run_experiment(
             device,
-            workload.as_mut(),
-            mitigation.as_mut(),
+            &mut workload,
+            &mut mitigation,
             cell.activations,
             cell.auto_refresh_interval,
-            &mut self.actions,
+            &mut self.scratch,
         )
     }
 }

@@ -8,11 +8,14 @@
 //! [`exec`] shards the cells across scoped worker threads and merges results
 //! back into plan order, so any `--threads` value emits byte-identical JSON;
 //! [`engine`] drives one cell's activation stream through a mitigation into
-//! the device model; [`json`] renders results as a JSON table (the shape of
-//! the paper's Figures 7–9: bit-flip rate vs. hammer count per mitigation);
-//! [`bench`] is the benchmark harness (`rh-cli bench`) that times the
-//! optimized hot path against the retained eager reference path over a
-//! pinned reference sweep and emits `BENCH_3.json`.
+//! the device model — batched (`Workload::fill_batch` chunks) and fully
+//! monomorphized (`MitigationKind` enum dispatch, concrete workload type);
+//! [`json`] renders results as a JSON table (the shape of the paper's
+//! Figures 7–9: bit-flip rate vs. hammer count per mitigation); [`bench`]
+//! is the benchmark harness (`rh-cli bench`) that times the optimized hot
+//! path against the retained pre-optimization path (eager device, map-based
+//! counter mitigations, unbatched dyn dispatch) over a pinned reference
+//! sweep and emits `BENCH_4.json`.
 
 pub mod bench;
 pub mod cli;

@@ -23,12 +23,21 @@ fn run_bench_command(opts: &bench::BenchOptions) -> ExitCode {
                 report.optimized_acts_per_sec,
                 opts.out_path
             );
-            if report.equivalent {
-                ExitCode::SUCCESS
-            } else {
+            if !report.equivalent {
                 eprintln!("error: optimized and legacy paths diverged (determinism regression)");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
+            if let Some(min) = opts.min_acts_per_sec {
+                if report.optimized_acts_per_sec < min {
+                    eprintln!(
+                        "error: optimized throughput {:.0} acts/sec below the \
+                         --min-acts-per-sec floor of {min:.0} (perf regression)",
+                        report.optimized_acts_per_sec
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");

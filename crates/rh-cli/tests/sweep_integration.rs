@@ -63,6 +63,8 @@ fn bench_quick_paths_are_equivalent() {
     let report = rh_cli::run_bench(&rh_cli::BenchOptions {
         quick: true,
         out_path: String::new(), // not written by run_bench; render-only
+        repeat: 1,               // timing precision is irrelevant here
+        ..rh_cli::BenchOptions::default()
     })
     .expect("quick bench must run");
     assert!(report.equivalent, "optimized and eager paths diverged");

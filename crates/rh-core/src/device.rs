@@ -34,9 +34,14 @@
 //!   cost of refresh-heavy configurations (increased-refresh at low
 //!   `HC_first`, exactly the regime the paper projects) into O(1).
 //! * **Incremental flip accounting**: `flipped_rows` is maintained as a
-//!   counter on the 0→nonzero transition in `settle_flips`, replacing the
+//!   counter on the 0→nonzero transition in the victim update, replacing the
 //!   end-of-run full-device scan ([`DeviceState::flipped_rows_scan`] remains
 //!   as the diagnostic reference, asserted equivalent in tests).
+//! * **Single-line victim slots** (`RowCell`): everything a victim update
+//!   reads or writes — charge, last-write epoch, flip threshold, flip count
+//!   — is packed into one 32-byte slot, so the benign traffic's random-row
+//!   accesses miss on one cache line instead of four parallel vectors'
+//!   worth. See the `RowCell` doc for the layout rationale.
 //!
 //! The retained eager-zeroing reference implementation lives in
 //! [`crate::reference`]; differential tests drive both against seeded random
@@ -169,29 +174,99 @@ impl DeviceTables {
     }
 }
 
+/// Everything a victim update reads or writes, packed into one 32-byte slot
+/// so the epoch check, charge accumulation, threshold compare, and flip
+/// settling all hit a single cache line per victim. The sweep's benign
+/// traffic lands on uniformly random rows of multi-megabyte state vectors;
+/// with charge/epoch/flips/threshold in separate vectors (the pre-PR-4
+/// layout) each such access missed on several lines, and those misses — not
+/// arithmetic — dominated the non-refresh cells. 32 bytes divides the cache
+/// line, so a slot never straddles two lines. The row's *threshold* is a
+/// per-cell copy of the shared [`DeviceTables`] value (made during the
+/// per-cell reset, which already streams over every slot); the per-row
+/// *activation* counter lives in a separate vector because only the
+/// aggressor row — by construction hot and cached — ever touches it.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(C)]
+struct RowCell {
+    /// Accumulated disturbance in units of distance-1 hammers. Valid only
+    /// while `epoch` matches the device epoch; stale values read as 0.
+    charge: f64,
+    /// Epoch of the last charge write (or targeted refresh).
+    epoch: u64,
+    /// Flip threshold (copied from the shared tables at cell reset).
+    threshold: f64,
+    /// Bit flips recorded (cumulative, monotone).
+    flips: u32,
+    _pad: u32,
+}
+
 /// Mutable state of the simulated device: per-row charge, activation
-/// counters, and recorded bit flips. Immutable tables are `Arc`-shared
-/// ([`DeviceTables`]); refresh is epoch-based (see the module docs).
+/// counters, and recorded bit flips ([`RowCell`] per row). Immutable tables
+/// are `Arc`-shared ([`DeviceTables`]); refresh is epoch-based (see the
+/// module docs).
 #[derive(Debug, Clone)]
 pub struct DeviceState {
     tables: Arc<DeviceTables>,
-    /// Accumulated disturbance per row, in units of distance-1 hammers.
-    /// Valid only where `row_epoch` matches `epoch`; stale entries read as 0.
-    charge: Vec<f64>,
-    /// Epoch of each row's last charge write (or targeted refresh).
-    row_epoch: Vec<u64>,
+    /// Per-row mutable state; see [`RowCell`].
+    cells: Vec<RowCell>,
+    /// Activations per row since construction/reset (aggressor-side
+    /// accounting only; victim updates never touch it — see [`RowCell`]).
+    acts: Vec<u64>,
     /// Global refresh epoch; bumped O(1) by `refresh_all`.
     epoch: u64,
-    /// Activations per row since construction.
-    acts: Vec<u64>,
-    /// Bit flips recorded per row (cumulative, monotone).
-    flips: Vec<u32>,
     total_flips: u64,
     total_activations: u64,
     refreshes_issued: u64,
     /// Distinct rows with at least one flip, maintained incrementally on the
-    /// 0→nonzero transition in `settle_flips`.
+    /// 0→nonzero transition in the victim update (`leak_cell`).
     flipped_row_count: u64,
+}
+
+/// One victim update: resolve the row's charge against the refresh epoch,
+/// accumulate the leaked quantum, and — the cold branch — deterministically
+/// reconcile the row's recorded flips with its charge once the threshold
+/// (resident in the same [`RowCell`] line) is crossed.
+///
+/// Expected flips are a monotone function of charge, so recorded flips can
+/// only grow; this is what makes flip counts monotone under common-random-
+/// number mitigation comparisons. Free function over one `&mut RowCell`
+/// (with the device-wide tallies as out-params) so the activation loop can
+/// drive it through zipped slice iterators without re-borrowing the device.
+#[expect(clippy::too_many_arguments)]
+#[inline(always)]
+fn leak_cell(
+    cell: &mut RowCell,
+    quantum: f64,
+    epoch: u64,
+    hc_first: u64,
+    flip_slope: f64,
+    cells_per_row: u32,
+    flips_added: &mut u64,
+    rows_flipped: &mut u64,
+) {
+    // Lazy epoch resolution: a stale charge reads as zero and is reset on
+    // this write.
+    if cell.epoch != epoch {
+        cell.epoch = epoch;
+        cell.charge = 0.0;
+    }
+    cell.charge += quantum;
+    let c = cell.charge;
+    let t = cell.threshold;
+    if c < t {
+        return;
+    }
+    let overshoot = (c - t) / hc_first as f64;
+    let expected = 1 + (overshoot * flip_slope * cells_per_row as f64) as u32;
+    let expected = expected.min(cells_per_row);
+    if expected > cell.flips {
+        if cell.flips == 0 {
+            *rows_flipped += 1;
+        }
+        *flips_added += (expected - cell.flips) as u64;
+        cell.flips = expected;
+    }
 }
 
 impl DeviceState {
@@ -206,40 +281,42 @@ impl DeviceState {
 
     /// Build a device around pre-derived shared tables.
     pub fn with_tables(tables: Arc<DeviceTables>) -> Self {
-        let n = tables.geom.total_rows() as usize;
-        Self {
-            tables,
-            charge: vec![0.0; n],
-            row_epoch: vec![0; n],
+        let mut device = Self {
+            tables: tables.clone(),
+            cells: Vec::new(),
+            acts: Vec::new(),
             epoch: 0,
-            acts: vec![0; n],
-            flips: vec![0; n],
             total_flips: 0,
             total_activations: 0,
             refreshes_issued: 0,
             flipped_row_count: 0,
-        }
+        };
+        device.reset_for_cell(tables);
+        device
     }
 
     /// Reuse this device's buffers for a new experiment cell: swap in the
-    /// cell's tables, zero all counters, and invalidate every charge by
-    /// bumping the epoch (no O(total_rows) zeroing, no reallocation unless
-    /// the geometry grew). Equivalent to `DeviceState::with_tables` minus
-    /// the allocations — executor threads call this once per cell.
+    /// cell's tables and reset every row slot in one streaming pass (the
+    /// per-row flip counters have to be zeroed for the new cell anyway, so
+    /// the charge/epoch words and the threshold copy from the shared tables
+    /// ride along in the same write; no reallocation unless the geometry
+    /// grew). Equivalent to `DeviceState::with_tables` minus the
+    /// allocations — executor threads call this once per cell. Note this is
+    /// a per-*cell* O(total_rows) cost; the per-*tREFW-window* `refresh_all`
+    /// inside a run stays the O(1) epoch bump.
     pub fn reset_for_cell(&mut self, tables: Arc<DeviceTables>) {
-        let n = tables.geom.total_rows() as usize;
         self.tables = tables;
-        // One bump invalidates all retained charges: every row_epoch entry
-        // (including the 0s of rows grown below) is now strictly stale.
-        self.epoch += 1;
-        if self.charge.len() != n {
-            self.charge.resize(n, 0.0);
-            self.row_epoch.resize(n, 0);
-        }
+        let n = self.tables.geom.total_rows() as usize;
+        self.cells.clear();
+        self.cells
+            .extend(self.tables.threshold.iter().map(|&t| RowCell {
+                threshold: t,
+                ..RowCell::default()
+            }));
+        debug_assert_eq!(self.cells.len(), n);
         self.acts.clear();
         self.acts.resize(n, 0);
-        self.flips.clear();
-        self.flips.resize(n, 0);
+        self.epoch = 0;
         self.total_flips = 0;
         self.total_activations = 0;
         self.refreshes_issued = 0;
@@ -259,50 +336,73 @@ impl DeviceState {
         &self.tables.params
     }
 
-    /// Resolve a row's charge against the epoch, resetting it lazily so the
-    /// caller can accumulate into `self.charge[idx]` directly.
-    #[inline]
-    fn touch(&mut self, idx: usize) {
-        if self.row_epoch[idx] != self.epoch {
-            self.row_epoch[idx] = self.epoch;
-            self.charge[idx] = 0.0;
-        }
-    }
-
     /// Activate `addr`: account the activation and leak disturbance into all
     /// rows within the blast radius, recording any new bit flips.
     ///
     /// Allocation-free: victims are addressed by flat-index arithmetic from
-    /// the aggressor's index (same bank ⇒ contiguous rows) and attenuation
-    /// comes from the precomputed table.
+    /// the aggressor's index (same bank ⇒ contiguous rows), attenuation
+    /// comes from the precomputed table, and each victim's epoch check,
+    /// charge accumulation, and settle read hit the one [`RowCell`] line.
     pub fn activate(&mut self, addr: RowAddr) {
         let idx = self.tables.geom.flat_index(addr);
         self.acts[idx] += 1;
         self.total_activations += 1;
         let row = addr.row;
         let radius = self.tables.params.blast_radius;
-        let lo = row.saturating_sub(radius);
-        let hi = row
-            .saturating_add(radius)
-            .min(self.tables.geom.rows_per_bank - 1);
-        let bank_base = idx - row as usize;
-        for r in lo..=hi {
-            if r == row {
-                continue;
-            }
-            let vi = bank_base + r as usize;
-            let quantum = self.tables.atten[(row.abs_diff(r) - 1) as usize];
-            self.touch(vi);
-            self.charge[vi] += quantum;
-            self.settle_flips(vi);
+        // Victims below and above the aggressor, clipped at bank edges,
+        // walked as two distance-major slice iterations zipped with the
+        // attenuation table: the quantum is the loop variable (no per-victim
+        // abs_diff), there is no skip-the-aggressor branch, and after the
+        // single window bounds check every victim access is check-free.
+        let below = row.min(radius) as usize;
+        let above = (self.tables.geom.rows_per_bank - 1 - row).min(radius) as usize;
+        let epoch = self.epoch;
+        let p = &self.tables.params;
+        let (hc_first, flip_slope, cells_per_row) = (p.hc_first, p.flip_slope, p.cells_per_row);
+        let atten = &self.tables.atten;
+        let mut flips_added = 0u64;
+        let mut rows_flipped = 0u64;
+        let window = &mut self.cells[idx - below..=idx + above];
+        let (lower, rest) = window.split_at_mut(below);
+        let (_aggressor, upper) = rest.split_first_mut().expect("window holds the aggressor");
+        // `lower` holds the below-victims in ascending row order; reversing
+        // walks them distance-major so zipping with `atten` pairs each cell
+        // with `coupling^(d-1)`. Zips clip at the shorter side (`atten` has
+        // exactly `radius` entries).
+        for (cell, &quantum) in lower.iter_mut().rev().zip(atten.iter()) {
+            leak_cell(
+                cell,
+                quantum,
+                epoch,
+                hc_first,
+                flip_slope,
+                cells_per_row,
+                &mut flips_added,
+                &mut rows_flipped,
+            );
         }
+        for (cell, &quantum) in upper.iter_mut().zip(atten.iter()) {
+            leak_cell(
+                cell,
+                quantum,
+                epoch,
+                hc_first,
+                flip_slope,
+                cells_per_row,
+                &mut flips_added,
+                &mut rows_flipped,
+            );
+        }
+        self.total_flips += flips_added;
+        self.flipped_row_count += rows_flipped;
     }
 
     /// Refresh a single row: restores its charge. Flips stay recorded.
     pub fn refresh_row(&mut self, addr: RowAddr) {
         let idx = self.tables.geom.flat_index(addr);
-        self.charge[idx] = 0.0;
-        self.row_epoch[idx] = self.epoch;
+        let cell = &mut self.cells[idx];
+        cell.charge = 0.0;
+        cell.epoch = self.epoch;
         self.refreshes_issued += 1;
     }
 
@@ -314,32 +414,6 @@ impl DeviceState {
         // Count in row units so the cost metric is comparable with
         // `refresh_row`-based mitigations.
         self.refreshes_issued += self.tables.geom.total_rows();
-    }
-
-    /// Deterministically reconcile a row's recorded flips with its charge.
-    ///
-    /// Expected flips are a monotone function of charge, so recorded flips
-    /// can only grow; this is what makes flip counts monotone under
-    /// common-random-number mitigation comparisons. Callers guarantee
-    /// `charge[idx]` is epoch-current (see [`DeviceState::touch`]).
-    fn settle_flips(&mut self, idx: usize) {
-        let c = self.charge[idx];
-        let t = self.tables.threshold[idx];
-        if c < t {
-            return;
-        }
-        let overshoot = (c - t) / self.tables.params.hc_first as f64;
-        let expected = 1
-            + (overshoot * self.tables.params.flip_slope * self.tables.params.cells_per_row as f64)
-                as u32;
-        let expected = expected.min(self.tables.params.cells_per_row);
-        if expected > self.flips[idx] {
-            if self.flips[idx] == 0 {
-                self.flipped_row_count += 1;
-            }
-            self.total_flips += (expected - self.flips[idx]) as u64;
-            self.flips[idx] = expected;
-        }
     }
 
     /// Total bit flips recorded since construction.
@@ -356,7 +430,7 @@ impl DeviceState {
     /// assert it always equals the incrementally-maintained
     /// [`DeviceState::flipped_rows`] counter.
     pub fn flipped_rows_scan(&self) -> u64 {
-        self.flips.iter().filter(|&&f| f > 0).count() as u64
+        self.cells.iter().filter(|c| c.flips > 0).count() as u64
     }
 
     /// Bit flips per million activations — the sweep's headline metric.
@@ -385,9 +459,9 @@ impl DeviceState {
     /// Accumulated charge of a row (test/diagnostic hook), resolved against
     /// the refresh epoch.
     pub fn charge_of(&self, addr: RowAddr) -> f64 {
-        let idx = self.tables.geom.flat_index(addr);
-        if self.row_epoch[idx] == self.epoch {
-            self.charge[idx]
+        let cell = &self.cells[self.tables.geom.flat_index(addr)];
+        if cell.epoch == self.epoch {
+            cell.charge
         } else {
             0.0
         }

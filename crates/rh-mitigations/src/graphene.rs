@@ -6,10 +6,17 @@
 //! guaranteed a table entry. When a tracked row's estimated count reaches
 //! the refresh threshold, its neighbors are refreshed and its counter
 //! rewinds, bounding the disturbance any aggressor can accumulate.
+//!
+//! The counter table is a [`FlatCounterTable`] — a fixed-capacity
+//! open-addressing array keyed by the row's device-wide flat index, modeling
+//! Graphene's CAM table as the cache-resident hardware structure it is. The
+//! pre-optimization `HashMap` form is retained as
+//! [`crate::reference::MapGraphene`]; differential tests assert both emit
+//! identical action streams.
 
+use crate::table::{FlatCounterTable, Observe};
 use crate::{ActionBuf, Mitigation};
 use rh_core::{Geometry, RowAddr};
-use std::collections::HashMap;
 
 /// Top-k activated-row tracker with threshold-triggered neighbor refresh.
 #[derive(Debug, Clone)]
@@ -20,8 +27,8 @@ pub struct Graphene {
     refresh_threshold: u64,
     /// Victim rows refreshed extend this far from a hot aggressor.
     radius: u32,
-    /// Misra–Gries counters: row → estimated count.
-    counters: HashMap<RowAddr, u64>,
+    /// Misra–Gries counters, keyed by the row's flat index.
+    counters: FlatCounterTable,
     /// Global decrement "spillover" — counts subtracted from all entries.
     spilled: u64,
     refreshes_triggered: u64,
@@ -35,7 +42,7 @@ impl Graphene {
             table_size,
             refresh_threshold,
             radius,
-            counters: HashMap::with_capacity(table_size + 1),
+            counters: FlatCounterTable::new(table_size),
             spilled: 0,
             refreshes_triggered: 0,
         }
@@ -45,26 +52,15 @@ impl Graphene {
         self.refreshes_triggered
     }
 
-    /// Estimated activation count for a row (test/diagnostic hook).
-    /// Misra–Gries guarantees `true_count - spilled ≤ estimate ≤ true_count`.
-    pub fn estimate(&self, addr: RowAddr) -> u64 {
-        self.counters.get(&addr).copied().unwrap_or(0)
+    /// Total Misra–Gries spill events (decrement-all passes) so far.
+    pub fn spilled(&self) -> u64 {
+        self.spilled
     }
 
-    /// Misra–Gries update: increment if tracked or table has room,
-    /// otherwise decrement every entry (evicting zeros).
-    fn observe(&mut self, addr: RowAddr) {
-        if let Some(c) = self.counters.get_mut(&addr) {
-            *c += 1;
-        } else if self.counters.len() < self.table_size {
-            self.counters.insert(addr, 1);
-        } else {
-            self.spilled += 1;
-            self.counters.retain(|_, c| {
-                *c -= 1;
-                *c > 0
-            });
-        }
+    /// Estimated activation count for a row (test/diagnostic hook).
+    /// Misra–Gries guarantees `true_count - spilled ≤ estimate ≤ true_count`.
+    pub fn estimate(&self, addr: RowAddr, geom: &Geometry) -> u64 {
+        self.counters.get(geom.flat_index(addr) as u64)
     }
 }
 
@@ -76,17 +72,22 @@ impl Mitigation for Graphene {
         )
     }
 
+    #[inline]
     fn on_activate(&mut self, addr: RowAddr, geom: &Geometry, out: &mut ActionBuf) {
-        self.observe(addr);
-        if self.estimate(addr) >= self.refresh_threshold {
-            // Drop the entry so a persistent aggressor re-triggers only
-            // after another `refresh_threshold` activations (and so no
-            // zero-count entry can underflow in the decrement pass).
-            self.counters.remove(&addr);
-            self.refreshes_triggered += 1;
-            for (victim, _) in addr.neighbors(geom, self.radius) {
-                out.refresh_row(victim);
+        let key = geom.flat_index(addr) as u64;
+        match self.counters.observe(key, |_| {}) {
+            Observe::Tracked(estimate) if estimate >= self.refresh_threshold => {
+                // Drop the entry so a persistent aggressor re-triggers only
+                // after another `refresh_threshold` activations (and so no
+                // zero-count entry can underflow in the decrement pass).
+                self.counters.remove(key);
+                self.refreshes_triggered += 1;
+                for (victim, _) in addr.neighbors(geom, self.radius) {
+                    out.refresh_row(victim);
+                }
             }
+            Observe::Tracked(_) => {}
+            Observe::Spilled => self.spilled += 1,
         }
     }
 
@@ -147,9 +148,9 @@ mod tests {
             collect_actions(&mut g, a, &geom);
             collect_actions(&mut g, RowAddr::bank_row(0, 2 + (i % 40)), &geom);
         }
-        assert!(g.estimate(a) <= 300);
+        assert!(g.estimate(a, &geom) <= 300);
         // Misra–Gries error bound: undercount ≤ total decrements.
-        assert!(g.estimate(a) + g.spilled >= 300);
+        assert!(g.estimate(a, &geom) + g.spilled() >= 300);
     }
 
     #[test]

@@ -26,18 +26,39 @@
 //!
 //! [`MitigationSpec`] is the serializable factory form of all of the above:
 //! sweep plans carry specs, and executor threads build fresh instances per
-//! cell so sharded runs stay deterministic.
+//! cell so sharded runs stay deterministic. [`MitigationKind`] is the
+//! monomorphized enum the specs build — the engine dispatches on its variant
+//! tag instead of a `Box<dyn Mitigation>` vtable, so `on_activate` bodies
+//! inline into the hot loop.
+//!
+//! Hot-path invariant (matching `rh-workloads::next_access`): **counter
+//! tables never allocate after construction.** Graphene's and TRR's
+//! Misra–Gries state lives in fixed-capacity [`FlatCounterTable`]s —
+//! power-of-two open-addressing arrays sized at construction, with the
+//! decrement-pass scratch preallocated alongside — and TRR's target-
+//! selection scratch is a reusable buffer bounded by the table size. No
+//! mitigation's `on_activate` touches the allocator; the only allocating
+//! method is `name()`, called once per run. New counter-based mechanisms
+//! must preserve this: build fixed structures in the spec's `build` (which
+//! receives the geometry precisely so tables can be pre-sized) and reuse
+//! them for the whole run. The retained map-based forms
+//! ([`reference::MapGraphene`], [`reference::MapTrr`]) are exempt — they
+//! exist only as differential-test references and the benchmark's "before"
+//! side.
 
 pub mod graphene;
 pub mod para;
+pub mod reference;
 pub mod refresh;
 pub mod spec;
+pub mod table;
 pub mod trr;
 
 pub use graphene::Graphene;
 pub use para::Para;
 pub use refresh::IncreasedRefresh;
-pub use spec::MitigationSpec;
+pub use spec::{MitigationKind, MitigationSpec};
+pub use table::FlatCounterTable;
 pub use trr::Trr;
 
 use rh_core::{Geometry, RowAddr};

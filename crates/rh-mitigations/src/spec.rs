@@ -1,19 +1,28 @@
-//! Serializable mitigation specifications.
+//! Serializable mitigation specifications and the monomorphized
+//! [`MitigationKind`] they build.
 //!
 //! A [`MitigationSpec`] is the declarative identity of a mitigation cell in
 //! a sweep plan: plain data (no RNG, no tables) that can be compared and
-//! expanded into a fresh [`Mitigation`] instance any number of times; the
-//! built instance's `name()` is the single source of display strings. The sweep planner builds a
-//! flat list of cells out of specs; executor threads materialize each cell's
-//! mitigation locally via [`MitigationSpec::build`], so no mitigation state
-//! ever crosses a thread boundary and sharded runs stay bit-identical.
+//! expanded into a fresh instance any number of times; the built instance's
+//! `name()` is the single source of display strings. The sweep planner
+//! builds a flat list of cells out of specs; executor threads materialize
+//! each cell's mitigation locally via [`MitigationSpec::build`], so no
+//! mitigation state ever crosses a thread boundary and sharded runs stay
+//! bit-identical.
+//!
+//! [`MitigationKind`] is the enum of all concrete mitigation types. The
+//! engine's hot loop is generic over `Mitigation` and runs on a
+//! `MitigationKind`, so per-activation dispatch is one match on the variant
+//! tag (monomorphized, inlinable) instead of a `Box<dyn Mitigation>` vtable
+//! call — and the `on_activate` bodies inline into the loop.
 //!
 //! Threshold-style parameters are expressed as divisors of `HC_first`
 //! (e.g. `threshold_divisor: 8` → trigger at `hc_first / 8`) because the
 //! paper configures every mechanism relative to the chip's vulnerability:
 //! the same spec is reused across the whole `HC_first` axis.
 
-use crate::{Graphene, IncreasedRefresh, Mitigation, NoMitigation, Para, Trr};
+use crate::{ActionBuf, Graphene, IncreasedRefresh, Mitigation, NoMitigation, Para, Trr};
+use rh_core::{Geometry, RowAddr};
 
 /// Declarative description of one mitigation configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,29 +50,84 @@ pub enum MitigationSpec {
 }
 
 impl MitigationSpec {
-    /// Materialize a fresh mitigation instance for a device with the given
-    /// `hc_first`, neighbor-refresh `radius`, and RNG `seed` (only PARA is
-    /// stochastic; the seed is ignored by deterministic mechanisms).
-    pub fn build(&self, hc_first: u64, radius: u32, seed: u64) -> Box<dyn Mitigation> {
+    /// Materialize a fresh mitigation for a device with geometry `geom`,
+    /// the given `hc_first`, neighbor-refresh `radius`, and RNG `seed`
+    /// (only PARA is stochastic; the seed is ignored by deterministic
+    /// mechanisms). The geometry lets table-based mechanisms pre-size their
+    /// counter structures, so nothing on the hot path allocates.
+    pub fn build(&self, geom: &Geometry, hc_first: u64, radius: u32, seed: u64) -> MitigationKind {
         match *self {
-            Self::None => Box::new(NoMitigation),
-            Self::Para { probability } => Box::new(Para::new(probability, radius, seed)),
+            Self::None => MitigationKind::None(NoMitigation),
+            Self::Para { probability } => {
+                MitigationKind::Para(Para::new(probability, radius, seed))
+            }
             Self::Graphene {
                 table_size,
                 threshold_divisor,
-            } => Box::new(Graphene::new(
+            } => MitigationKind::Graphene(Graphene::new(
                 table_size,
                 (hc_first / threshold_divisor).max(1),
                 radius,
             )),
-            Self::IncreasedRefresh { interval_divisor } => {
-                Box::new(IncreasedRefresh::new((hc_first / interval_divisor).max(1)))
-            }
+            Self::IncreasedRefresh { interval_divisor } => MitigationKind::IncreasedRefresh(
+                IncreasedRefresh::new((hc_first / interval_divisor).max(1)),
+            ),
             Self::Trr {
                 table_size,
                 refresh_slots,
                 sample_interval,
-            } => Box::new(Trr::new(table_size, refresh_slots, sample_interval, radius)),
+            } => MitigationKind::Trr(Trr::new(
+                table_size,
+                refresh_slots,
+                sample_interval,
+                radius,
+                geom,
+            )),
+        }
+    }
+}
+
+/// The closed set of concrete mitigations, for monomorphized dispatch: one
+/// match on the variant tag per activation instead of a vtable call, with
+/// each `on_activate` body inlined into the engine loop.
+#[derive(Debug, Clone)]
+pub enum MitigationKind {
+    None(NoMitigation),
+    Para(Para),
+    Graphene(Graphene),
+    IncreasedRefresh(IncreasedRefresh),
+    Trr(Trr),
+}
+
+impl Mitigation for MitigationKind {
+    fn name(&self) -> String {
+        match self {
+            Self::None(m) => m.name(),
+            Self::Para(m) => m.name(),
+            Self::Graphene(m) => m.name(),
+            Self::IncreasedRefresh(m) => m.name(),
+            Self::Trr(m) => m.name(),
+        }
+    }
+
+    #[inline]
+    fn on_activate(&mut self, addr: RowAddr, geom: &Geometry, out: &mut ActionBuf) {
+        match self {
+            Self::None(_) => {}
+            Self::Para(m) => m.on_activate(addr, geom, out),
+            Self::Graphene(m) => m.on_activate(addr, geom, out),
+            Self::IncreasedRefresh(m) => m.on_activate(addr, geom, out),
+            Self::Trr(m) => m.on_activate(addr, geom, out),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Self::None(m) => m.reset(),
+            Self::Para(m) => m.reset(),
+            Self::Graphene(m) => m.reset(),
+            Self::IncreasedRefresh(m) => m.reset(),
+            Self::Trr(m) => m.reset(),
         }
     }
 }
@@ -71,6 +135,10 @@ impl MitigationSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::tiny(64)
+    }
 
     #[test]
     fn built_names_are_stable_and_distinct() {
@@ -90,8 +158,10 @@ mod tests {
                 sample_interval: 1000,
             },
         ];
-        let names: std::collections::HashSet<String> =
-            specs.iter().map(|s| s.build(2000, 2, 0).name()).collect();
+        let names: std::collections::HashSet<String> = specs
+            .iter()
+            .map(|s| s.build(&geom(), 2000, 2, 0).name())
+            .collect();
         assert_eq!(names.len(), specs.len());
         assert!(names.contains("trr(k=16,slots=2,w=1000)"));
         assert!(names.contains("graphene(k=64,t=250)"));
@@ -103,12 +173,12 @@ mod tests {
             table_size: 4,
             threshold_divisor: 8,
         }
-        .build(4000, 2, 0);
+        .build(&geom(), 4000, 2, 0);
         assert_eq!(m.name(), "graphene(k=4,t=500)");
         let m = MitigationSpec::IncreasedRefresh {
             interval_divisor: 2,
         }
-        .build(4000, 2, 0);
+        .build(&geom(), 4000, 2, 0);
         assert_eq!(m.name(), "refresh(interval=2000)");
     }
 
@@ -119,7 +189,7 @@ mod tests {
             table_size: 4,
             threshold_divisor: 8,
         }
-        .build(3, 1, 0);
+        .build(&geom(), 3, 1, 0);
         assert_eq!(m.name(), "graphene(k=4,t=1)");
     }
 
@@ -132,12 +202,36 @@ mod tests {
         };
         let geom = rh_core::Geometry::tiny(16);
         let addr = rh_core::RowAddr::bank_row(0, 8);
-        let mut a = spec.build(1000, 1, 0);
+        let mut a = spec.build(&geom, 1000, 1, 0);
         for _ in 0..5 {
-            crate::collect_actions(a.as_mut(), addr, &geom);
+            crate::collect_actions(&mut a, addr, &geom);
         }
         // A second build starts from scratch: no shared state.
-        let mut b = spec.build(1000, 1, 0);
-        assert!(crate::collect_actions(b.as_mut(), addr, &geom).is_empty());
+        let mut b = spec.build(&geom, 1000, 1, 0);
+        assert!(crate::collect_actions(&mut b, addr, &geom).is_empty());
+    }
+
+    #[test]
+    fn kind_dispatch_matches_direct_calls() {
+        let geom = Geometry::tiny(64);
+        let addr = RowAddr::bank_row(0, 32);
+        let mut direct = Graphene::new(4, 10, 1);
+        let mut kind = MitigationSpec::Graphene {
+            table_size: 4,
+            threshold_divisor: 100,
+        }
+        .build(&geom, 1000, 1, 0);
+        assert_eq!(kind.name(), "graphene(k=4,t=10)");
+        for _ in 0..20 {
+            let a = crate::collect_actions(&mut direct, addr, &geom);
+            let b = crate::collect_actions(&mut kind, addr, &geom);
+            assert_eq!(a, b);
+        }
+        kind.reset();
+        direct.reset();
+        assert_eq!(
+            crate::collect_actions(&mut kind, addr, &geom),
+            crate::collect_actions(&mut direct, addr, &geom)
+        );
     }
 }

@@ -1,0 +1,580 @@
+//! `FlatCounterTable` — the fixed-capacity, cache-resident counter table
+//! shared by every counter-based mitigation.
+//!
+//! Real trackers are fixed-size hardware structures: Graphene's CAM tables
+//! (Park et al., MICRO 2020) hold `k` row/counter pairs in content-
+//! addressable storage, and BlockHammer's counting Bloom filters (Yağlıkçı
+//! et al., HPCA 2021) are SRAM arrays. Modeling them as a flat open-
+//! addressing array is both faster than the previous `HashMap`/`BTreeMap`
+//! structures (one multiply-shift hash plus a short linear probe over a
+//! few cache lines, instead of SipHash over a 16-byte key or a tree walk)
+//! and more faithful to the hardware being modeled.
+//!
+//! Layout. One contiguous power-of-two-per-bank slab of packed
+//! `(key, count)` slots: a table is constructed with `banks` independent
+//! regions of `bank_slots` slots each (one region for the single-table case
+//! — Graphene — via [`FlatCounterTable::new`]; one region per DRAM bank for
+//! TRR via [`FlatCounterTable::banked`], mirroring how hardware lays
+//! per-bank tables out in a single SRAM). Within a region, slots are probed
+//! linearly from a Fibonacci multiply-shift hash of the key; a region's
+//! base is `bank << log2(bank_slots)` — a shift, not a pointer chase
+//! through per-bank allocations. `count == 0` marks an empty slot —
+//! Misra–Gries never retains a zero-count entry, so no separate occupancy
+//! word is needed and a slot is exactly 16 bytes. Regions hold four slots
+//! per tracked entry (load factor ≤ 0.25), so probes are short and the
+//! sweep's largest table (`k = 64` → 256 slots) is 4 KiB — L1-resident.
+//!
+//! Determinism. Every operation is a pure function of the operation history:
+//! slot placement depends only on keys and insertion order, and the
+//! Misra–Gries decrement pass ([`FlatCounterTable::decrement_all_in`])
+//! walks a region's slots in ascending index order, reporting evictions in
+//! that order and re-packing survivors in that same order. Tie-breaking
+//! among evicted entries is therefore *explicit* — lowest slot index first
+//! (for keys whose probe sequences collide, the earlier-inserted,
+//! lower-slot entry reports first) — rather than whatever a `HashMap`'s
+//! iteration order happens to be. Two identically-seeded runs produce
+//! identical eviction sequences, which the differential tests assert.
+//!
+//! Allocation. The slot slab, the per-bank length array, and the rebuild
+//! scratch are allocated at construction and never grow: the table is
+//! allocation-free after construction, matching the crate-wide hot-path
+//! invariant.
+
+/// One packed table slot. `count == 0` ⇔ empty (Misra–Gries never keeps a
+/// zero count, so no sentinel key is needed).
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    key: u64,
+    count: u64,
+}
+
+/// Outcome of one Misra–Gries observation ([`FlatCounterTable::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observe {
+    /// The key was already tracked or the table had room; its estimated
+    /// count after the increment/insert is carried.
+    Tracked(u64),
+    /// The table was full and the key untracked: every entry was
+    /// decremented instead (the Misra–Gries "spill") and the key remains
+    /// untracked with estimate 0.
+    Spilled,
+}
+
+/// Fixed-capacity Misra–Gries counter table over `u64` keys, with one or
+/// more independent per-bank regions in a single slab.
+///
+/// Each region holds at most `capacity` entries (the Misra–Gries `k`); the
+/// backing slab is sized at construction and never reallocates.
+#[derive(Debug, Clone)]
+pub struct FlatCounterTable {
+    /// Maximum tracked entries per bank region (Misra–Gries `k`).
+    capacity: usize,
+    /// Independent regions (1 for the plain single-table case).
+    banks: usize,
+    /// `bank_slots - 1`; region length is a power of two.
+    mask: usize,
+    /// Right-shift applied to the Fibonacci hash to land in `0..bank_slots`.
+    shift: u32,
+    /// `log2(bank_slots)`: a region's slab base is `bank << slot_shift`.
+    slot_shift: u32,
+    /// Occupied entries per region.
+    lens: Box<[u32]>,
+    /// All regions' slots, contiguous.
+    slots: Box<[Slot]>,
+    /// Rebuild target for one region's decrement pass.
+    scratch: Box<[Slot]>,
+}
+
+/// Fibonacci multiply-shift: spreads consecutive row indices (the common
+/// key pattern — aggressors are adjacent rows) across a whole region.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FlatCounterTable {
+    /// A single-region table tracking at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self::banked(capacity, 1)
+    }
+
+    /// A table with `banks` independent regions of at most `capacity`
+    /// entries each. Region length is the next power of two holding four
+    /// slots per entry (minimum 8), keeping the load factor at or below
+    /// 0.25 so linear probes stay short.
+    pub fn banked(capacity: usize, banks: usize) -> Self {
+        assert!(capacity > 0, "counter table needs at least one entry");
+        assert!(banks > 0, "counter table needs at least one bank region");
+        let bank_slots = (capacity * 4).next_power_of_two().max(8);
+        Self {
+            capacity,
+            banks,
+            mask: bank_slots - 1,
+            shift: 64 - bank_slots.trailing_zeros(),
+            slot_shift: bank_slots.trailing_zeros(),
+            lens: vec![0; banks].into_boxed_slice(),
+            slots: vec![Slot::default(); banks * bank_slots].into_boxed_slice(),
+            scratch: vec![Slot::default(); bank_slots].into_boxed_slice(),
+        }
+    }
+
+    /// Maximum tracked entries per region (the Misra–Gries `k`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of independent bank regions.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Total tracked entries across all regions.
+    pub fn len(&self) -> usize {
+        self.lens.iter().map(|&l| l as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lens.iter().all(|&l| l == 0)
+    }
+
+    /// Tracked entries in `bank`'s region.
+    pub fn len_in(&self, bank: usize) -> usize {
+        self.lens[bank] as usize
+    }
+
+    pub fn is_empty_in(&self, bank: usize) -> bool {
+        self.lens[bank] == 0
+    }
+
+    #[inline(always)]
+    fn base(&self, bank: usize) -> usize {
+        bank << self.slot_shift
+    }
+
+    /// Probe start within a region (local index).
+    #[inline(always)]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    /// Slab index holding `key` in `bank`'s region, if tracked.
+    #[inline(always)]
+    fn find_in(&self, bank: usize, key: u64) -> Option<usize> {
+        let base = self.base(bank);
+        let mut li = self.home(key);
+        loop {
+            let s = self.slots[base + li];
+            if s.count == 0 {
+                return None;
+            }
+            if s.key == key {
+                return Some(base + li);
+            }
+            li = (li + 1) & self.mask;
+        }
+    }
+
+    /// Estimated count of `key` (0 if untracked). Misra–Gries guarantees
+    /// `true_count - spills ≤ estimate ≤ true_count`, with at most
+    /// `W / (capacity + 1)` spills over a stream of `W` observations.
+    #[inline]
+    pub fn get(&self, key: u64) -> u64 {
+        self.get_in(0, key)
+    }
+
+    /// [`FlatCounterTable::get`] against `bank`'s region.
+    #[inline]
+    pub fn get_in(&self, bank: usize, key: u64) -> u64 {
+        self.find_in(bank, key).map_or(0, |i| self.slots[i].count)
+    }
+
+    /// One Misra–Gries observation of `key`: increment if tracked, insert at
+    /// count 1 if the region has room, otherwise decrement every entry in
+    /// the region (reporting evictions to `on_evict` in ascending slot-index
+    /// order — the explicit tie-break rule) and leave `key` untracked.
+    #[inline]
+    pub fn observe(&mut self, key: u64, on_evict: impl FnMut(u64)) -> Observe {
+        self.observe_in(0, key, on_evict)
+    }
+
+    /// [`FlatCounterTable::observe`] against `bank`'s region.
+    #[inline]
+    pub fn observe_in(&mut self, bank: usize, key: u64, on_evict: impl FnMut(u64)) -> Observe {
+        let base = self.base(bank);
+        let mut li = self.home(key);
+        loop {
+            let s = self.slots[base + li];
+            if s.count == 0 {
+                break;
+            }
+            if s.key == key {
+                self.slots[base + li].count += 1;
+                return Observe::Tracked(self.slots[base + li].count);
+            }
+            li = (li + 1) & self.mask;
+        }
+        if (self.lens[bank] as usize) < self.capacity {
+            // `li` is the first empty probe slot — exactly where linear
+            // probing inserts.
+            self.slots[base + li] = Slot { key, count: 1 };
+            self.lens[bank] += 1;
+            return Observe::Tracked(1);
+        }
+        self.decrement_all_in(bank, on_evict);
+        Observe::Spilled
+    }
+
+    /// The Misra–Gries decrement pass over one region: subtract one from
+    /// every entry, evicting those that reach zero. Walks slots in
+    /// ascending index order; `on_evict` fires in that order (the explicit
+    /// deterministic tie-break) and survivors are re-packed in that same
+    /// order, so the resulting slot layout — and every subsequent eviction
+    /// sequence — is a pure function of the operation history.
+    pub fn decrement_all_in(&mut self, bank: usize, mut on_evict: impl FnMut(u64)) {
+        let base = self.base(bank);
+        let region = base..base + self.mask + 1;
+        // Fast path: when no entry survives (a region full of once-seen rows
+        // — the steady state of a bank seeing only uniform benign traffic),
+        // evict in place; no scratch zeroing, no rebuild.
+        if self.slots[region.clone()].iter().all(|s| s.count <= 1) {
+            for s in self.slots[region].iter_mut() {
+                if s.count == 1 {
+                    on_evict(s.key);
+                    *s = Slot::default();
+                }
+            }
+            self.lens[bank] = 0;
+            return;
+        }
+        for s in self.scratch.iter_mut() {
+            *s = Slot::default();
+        }
+        let mut survivors = 0;
+        for i in region {
+            let s = self.slots[i];
+            if s.count == 0 {
+                continue;
+            }
+            if s.count == 1 {
+                on_evict(s.key);
+                continue;
+            }
+            let mut li = self.home(s.key);
+            while self.scratch[li].count != 0 {
+                li = (li + 1) & self.mask;
+            }
+            self.scratch[li] = Slot {
+                key: s.key,
+                count: s.count - 1,
+            };
+            survivors += 1;
+        }
+        self.slots[base..base + self.mask + 1].copy_from_slice(&self.scratch);
+        self.lens[bank] = survivors;
+    }
+
+    /// [`FlatCounterTable::decrement_all_in`] on the single-region table.
+    pub fn decrement_all(&mut self, on_evict: impl FnMut(u64)) {
+        self.decrement_all_in(0, on_evict)
+    }
+
+    /// Remove `key` from `bank`'s region if tracked (backward-shift
+    /// deletion, so no tombstones accumulate and probe chains stay minimal).
+    pub fn remove_in(&mut self, bank: usize, key: u64) {
+        let Some(abs) = self.find_in(bank, key) else {
+            return;
+        };
+        self.lens[bank] -= 1;
+        let base = self.base(bank);
+        let mut i = abs - base;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let s = self.slots[base + j];
+            if s.count == 0 {
+                break;
+            }
+            // Shift `j` back into the hole at `i` only if its home position
+            // is cyclically outside (i, j] — i.e. the hole does not cut the
+            // entry off from its probe chain.
+            let home = self.home(s.key);
+            let between = if j > i {
+                home <= i || home > j
+            } else {
+                home <= i && home > j
+            };
+            if between {
+                self.slots[base + i] = s;
+                i = j;
+            }
+        }
+        self.slots[base + i] = Slot::default();
+    }
+
+    /// [`FlatCounterTable::remove_in`] on the single-region table.
+    pub fn remove(&mut self, key: u64) {
+        self.remove_in(0, key)
+    }
+
+    /// Drop every entry in every region, retaining the allocation.
+    pub fn clear(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = Slot::default();
+        }
+        for l in self.lens.iter_mut() {
+            *l = 0;
+        }
+    }
+
+    /// Tracked `(key, estimated count)` pairs of `bank`'s region in
+    /// ascending slot-index order (deterministic given the operation
+    /// history).
+    pub fn iter_in(&self, bank: usize) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let base = self.base(bank);
+        self.slots[base..base + self.mask + 1]
+            .iter()
+            .filter(|s| s.count != 0)
+            .map(|s| (s.key, s.count))
+    }
+
+    /// [`FlatCounterTable::iter_in`] on the single-region table.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.iter_in(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rh_core::SplitMix64;
+    use std::collections::HashMap;
+
+    fn no_evict(_: u64) {}
+
+    /// Reference Misra–Gries over a HashMap, for differential checking.
+    struct MapMg {
+        k: usize,
+        counts: HashMap<u64, u64>,
+    }
+
+    impl MapMg {
+        fn observe(&mut self, key: u64) {
+            if let Some(c) = self.counts.get_mut(&key) {
+                *c += 1;
+            } else if self.counts.len() < self.k {
+                self.counts.insert(key, 1);
+            } else {
+                self.counts.retain(|_, c| {
+                    *c -= 1;
+                    *c > 0
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn tracks_and_increments() {
+        let mut t = FlatCounterTable::new(4);
+        assert_eq!(t.observe(7, no_evict), Observe::Tracked(1));
+        assert_eq!(t.observe(7, no_evict), Observe::Tracked(2));
+        assert_eq!(t.get(7), 2);
+        assert_eq!(t.get(8), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn full_table_spills_and_evicts_singletons() {
+        let mut t = FlatCounterTable::new(2);
+        t.observe(1, no_evict);
+        t.observe(1, no_evict);
+        t.observe(2, no_evict);
+        let mut evicted = Vec::new();
+        assert_eq!(t.observe(3, |k| evicted.push(k)), Observe::Spilled);
+        // Entry 2 (count 1) is evicted; entry 1 survives decremented; the
+        // spilled key 3 is NOT inserted (standard Misra–Gries).
+        assert_eq!(evicted, vec![2]);
+        assert_eq!(t.get(1), 1);
+        assert_eq!(t.get(2), 0);
+        assert_eq!(t.get(3), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn banked_regions_are_independent() {
+        let mut t = FlatCounterTable::banked(2, 3);
+        // Same keys in different banks never interact.
+        for bank in 0..3 {
+            for _ in 0..=bank {
+                t.observe_in(bank, 42, no_evict);
+            }
+        }
+        for bank in 0..3 {
+            assert_eq!(t.get_in(bank, 42), bank as u64 + 1);
+        }
+        // Fill bank 1 and spill it; banks 0 and 2 must be untouched.
+        t.observe_in(1, 43, no_evict);
+        let mut evicted = Vec::new();
+        assert_eq!(t.observe_in(1, 44, |k| evicted.push(k)), Observe::Spilled);
+        assert_eq!(evicted, vec![43], "only bank 1's singleton is evicted");
+        assert_eq!(t.get_in(1, 42), 1, "bank 1 decremented");
+        assert_eq!(t.get_in(0, 42), 1, "bank 0 untouched");
+        assert_eq!(t.get_in(2, 42), 3, "bank 2 untouched");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn remove_preserves_colliding_probe_chains() {
+        // Insert enough keys that linear-probe clusters form, then remove
+        // from cluster heads and verify every survivor stays findable.
+        let mut t = FlatCounterTable::new(32);
+        let keys: Vec<u64> = (0..32).map(|i| i * 3 + 1).collect();
+        for &k in &keys {
+            t.observe(k, no_evict);
+            t.observe(k, no_evict);
+        }
+        for (n, &k) in keys.iter().enumerate() {
+            t.remove(k);
+            assert_eq!(t.get(k), 0, "removed key {k} still present");
+            assert_eq!(t.len(), keys.len() - n - 1);
+            for &other in &keys[n + 1..] {
+                assert_eq!(t.get(other), 2, "key {other} lost after removing {k}");
+            }
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_of_untracked_key_is_a_no_op() {
+        let mut t = FlatCounterTable::new(4);
+        t.observe(5, no_evict);
+        t.remove(99);
+        assert_eq!(t.get(5), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_empties() {
+        let mut t = FlatCounterTable::banked(4, 2);
+        for k in 0..4 {
+            t.observe_in(0, k, no_evict);
+            t.observe_in(1, k, no_evict);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_empty_in(1));
+        assert_eq!(t.get(0), 0);
+        assert_eq!(t.observe(9, no_evict), Observe::Tracked(1));
+    }
+
+    #[test]
+    fn iter_yields_all_entries_in_slot_order() {
+        let mut t = FlatCounterTable::new(8);
+        for k in [10u64, 20, 30] {
+            for _ in 0..k {
+                t.observe(k, no_evict);
+            }
+        }
+        let got: HashMap<u64, u64> = t.iter().collect();
+        assert_eq!(got, HashMap::from([(10, 10), (20, 20), (30, 30)]));
+    }
+
+    /// Differential test: random streams through the flat table and a
+    /// HashMap-based Misra–Gries must agree on every count at every step.
+    #[test]
+    fn matches_map_based_misra_gries_on_random_streams() {
+        for seed in 0..4u64 {
+            let k = 8;
+            let mut flat = FlatCounterTable::new(k);
+            let mut map = MapMg {
+                k,
+                counts: HashMap::new(),
+            };
+            let mut rng = SplitMix64::new(0xF1A7 + seed);
+            for step in 0..20_000 {
+                // Zipf-ish mix: a few hot keys plus a long random tail.
+                let key = if rng.chance(0.5) {
+                    rng.gen_range(4)
+                } else {
+                    rng.gen_range(1_000)
+                };
+                flat.observe(key, no_evict);
+                map.observe(key);
+                if step % 500 == 0 {
+                    for probe in 0..1_000u64 {
+                        assert_eq!(
+                            flat.get(probe),
+                            map.counts.get(&probe).copied().unwrap_or(0),
+                            "seed {seed} step {step} key {probe}"
+                        );
+                    }
+                    assert_eq!(flat.len(), map.counts.len());
+                }
+            }
+        }
+    }
+
+    /// The Misra–Gries error bound: with `k` counters over a stream of `W`
+    /// observations, `true − W/(k+1) ≤ estimate ≤ true` for every key.
+    #[test]
+    fn misra_gries_error_bound_holds() {
+        let k = 8;
+        let mut t = FlatCounterTable::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = SplitMix64::new(42);
+        let w = 50_000u64;
+        for _ in 0..w {
+            let key = if rng.chance(0.3) {
+                rng.gen_range(3)
+            } else {
+                rng.gen_range(500)
+            };
+            t.observe(key, no_evict);
+            *truth.entry(key).or_insert(0) += 1;
+        }
+        let max_undercount = w / (k as u64 + 1);
+        for (&key, &true_count) in &truth {
+            let est = t.get(key);
+            assert!(
+                est <= true_count,
+                "key {key}: est {est} > true {true_count}"
+            );
+            assert!(
+                est + max_undercount >= true_count,
+                "key {key}: est {est} undershoots true {true_count} by more than W/(k+1) = {max_undercount}"
+            );
+        }
+    }
+
+    /// Two identically-seeded runs must produce identical eviction
+    /// sequences — the satellite fix for the old HashMap spill step, whose
+    /// iteration order was only accidentally deterministic.
+    #[test]
+    fn eviction_sequences_are_deterministic() {
+        let run = || {
+            let mut t = FlatCounterTable::new(6);
+            let mut rng = SplitMix64::new(0xE71C);
+            let mut evictions = Vec::new();
+            for _ in 0..30_000 {
+                let key = rng.gen_range(200);
+                t.observe(key, |k| evictions.push(k));
+            }
+            (evictions, t.iter().collect::<Vec<_>>())
+        };
+        let (ev_a, state_a) = run();
+        let (ev_b, state_b) = run();
+        assert!(!ev_a.is_empty(), "stream must exercise evictions");
+        assert_eq!(ev_a, ev_b, "eviction sequences diverged");
+        assert_eq!(state_a, state_b, "final slot layouts diverged");
+    }
+
+    #[test]
+    fn load_factor_is_bounded() {
+        for k in [1usize, 2, 3, 15, 16, 64, 100] {
+            for banks in [1usize, 4] {
+                let t = FlatCounterTable::banked(k, banks);
+                let region = t.mask + 1;
+                assert!(region.is_power_of_two());
+                assert!(region >= 4 * k, "k={k}: {region} slots per region");
+                assert!(region >= 8);
+                assert_eq!(t.slots.len(), banks * region);
+            }
+        }
+    }
+}

@@ -20,17 +20,23 @@
 //! it refreshes *whenever any* tracked row crosses a threshold, with no
 //! per-window slot budget.
 //!
-//! All state is deterministic (BTreeMaps, count-then-address tie-breaking),
-//! so sweeps using TRR stay bit-identical across thread counts.
+//! The per-bank tables are one banked [`FlatCounterTable`] — a single slab
+//! with an independent power-of-two region per linear bank index, keyed by
+//! row number, the way hardware lays per-bank trackers out in one SRAM.
+//! One shift to the bank's region plus one multiply-shift probe per
+//! activation replaces both levels of the previous nested `BTreeMap` (a
+//! tree walk over `(channel, rank, bank)` followed by a tree walk over
+//! `RowAddr`). Bank iteration order equals linear-index order, which is
+//! exactly the old `BTreeMap` key order, and target selection tie-breaks
+//! by (count desc, row asc) — so the flat form is action-for-action
+//! identical to the retained [`crate::reference::MapTrr`], which the
+//! differential tests assert.
 
+use crate::table::FlatCounterTable;
 use crate::{ActionBuf, Mitigation};
 use rh_core::{Geometry, RowAddr};
-use std::collections::BTreeMap;
 
-/// Channel/rank/bank coordinates identifying one per-bank counter table.
-type BankKey = (u32, u32, u32);
-
-/// Per-bank sampling-window TRR with a Misra–Gries counter table.
+/// Per-bank sampling-window TRR with flat Misra–Gries counter tables.
 #[derive(Debug, Clone)]
 pub struct Trr {
     /// Counter-table entries per bank.
@@ -41,30 +47,46 @@ pub struct Trr {
     sample_interval: u64,
     /// Victim rows refreshed extend this far from a targeted aggressor.
     radius: u32,
-    /// Activations observed since the last refresh-window flush.
-    acts_in_window: u64,
-    /// Per-bank Misra–Gries counters: row → estimated count.
-    tables: BTreeMap<BankKey, BTreeMap<RowAddr, u64>>,
+    /// Activations remaining until the next sampling-window service.
+    until_sample: u64,
+    /// Banked Misra–Gries table: one region per linear bank index.
+    tables: FlatCounterTable,
+    /// Geometry bank layout captured at construction, for linear bank
+    /// index computation and address reconstruction.
+    ranks: u32,
+    banks: u32,
     targeted_refreshes: u64,
-    /// Reusable target-selection scratch, so sampling windows allocate only
-    /// until the buffer reaches its steady-state capacity.
-    scratch: Vec<(RowAddr, u64)>,
+    /// Reusable `(row, count)` target-selection scratch — no per-window
+    /// allocation once capacity has grown to the (bounded) table size.
+    scratch: Vec<(u32, u64)>,
 }
 
 impl Trr {
-    pub fn new(table_size: usize, refresh_slots: usize, sample_interval: u64, radius: u32) -> Self {
+    /// A TRR instance with per-bank table regions pre-sized for `geom`:
+    /// never allocates after construction, so the engine hot path stays
+    /// allocation-free end to end.
+    pub fn new(
+        table_size: usize,
+        refresh_slots: usize,
+        sample_interval: u64,
+        radius: u32,
+        geom: &Geometry,
+    ) -> Self {
         assert!(table_size > 0);
         assert!(refresh_slots > 0);
         assert!(sample_interval > 0);
+        let n = (geom.channels * geom.ranks * geom.banks) as usize;
         Self {
             table_size,
             refresh_slots,
             sample_interval,
             radius,
-            acts_in_window: 0,
-            tables: BTreeMap::new(),
+            until_sample: sample_interval,
+            tables: FlatCounterTable::banked(table_size, n),
+            ranks: geom.ranks,
+            banks: geom.banks,
             targeted_refreshes: 0,
-            scratch: Vec::new(),
+            scratch: Vec::with_capacity(table_size),
         }
     }
 
@@ -75,52 +97,58 @@ impl Trr {
 
     /// Estimated activation count for a row (test/diagnostic hook).
     pub fn estimate(&self, addr: RowAddr) -> u64 {
-        self.tables
-            .get(&bank_key(addr))
-            .and_then(|t| t.get(&addr))
-            .copied()
-            .unwrap_or(0)
+        self.tables.get_in(self.bank_index(addr), addr.row as u64)
     }
 
-    /// Misra–Gries update on the activated row's bank table.
-    fn observe(&mut self, addr: RowAddr) {
-        let table = self.tables.entry(bank_key(addr)).or_default();
-        if let Some(c) = table.get_mut(&addr) {
-            *c += 1;
-        } else if table.len() < self.table_size {
-            table.insert(addr, 1);
-        } else {
-            table.retain(|_, c| {
-                *c -= 1;
-                *c > 0
-            });
-        }
+    /// Linear bank index; same ordering as the geometry's flat row index
+    /// (and as the old `BTreeMap<(channel, rank, bank), _>` key order).
+    #[inline(always)]
+    fn bank_index(&self, addr: RowAddr) -> usize {
+        ((addr.channel * self.ranks + addr.rank) * self.banks + addr.bank) as usize
+    }
+
+    /// Reconstruct the bank coordinates of linear index `i`.
+    fn bank_coords(&self, i: usize) -> (u32, u32, u32) {
+        let i = i as u32;
+        (
+            i / (self.ranks * self.banks),
+            (i / self.banks) % self.ranks,
+            i % self.banks,
+        )
     }
 
     /// Sampling-window service: refresh the neighbors of the top
-    /// `refresh_slots` rows of every bank table, ties broken by address so
-    /// target selection is fully deterministic. Uses the reusable scratch
-    /// buffer — no per-window allocation once capacity has grown to the
-    /// (bounded) table size.
+    /// `refresh_slots` rows of every bank table, ties broken by row number
+    /// so target selection is fully deterministic. Uses the reusable scratch
+    /// buffer — no per-window allocation.
     fn service_windows(&mut self, geom: &Geometry, out: &mut ActionBuf) {
         let mut rows = std::mem::take(&mut self.scratch);
-        for table in self.tables.values() {
+        let tables = &self.tables;
+        let mut targeted = 0;
+        for bi in 0..tables.banks() {
+            if tables.is_empty_in(bi) {
+                continue;
+            }
             rows.clear();
-            rows.extend(table.iter().map(|(a, c)| (*a, *c)));
+            rows.extend(tables.iter_in(bi).map(|(row, c)| (row as u32, c)));
             rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            for &(target, _) in rows.iter().take(self.refresh_slots) {
-                self.targeted_refreshes += 1;
+            let (channel, rank, bank) = self.bank_coords(bi);
+            for &(row, _) in rows.iter().take(self.refresh_slots) {
+                targeted += 1;
+                let target = RowAddr {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                };
                 for (victim, _) in target.neighbors(geom, self.radius) {
                     out.refresh_row(victim);
                 }
             }
         }
+        self.targeted_refreshes += targeted;
         self.scratch = rows;
     }
-}
-
-fn bank_key(addr: RowAddr) -> BankKey {
-    (addr.channel, addr.rank, addr.bank)
 }
 
 impl Mitigation for Trr {
@@ -131,12 +159,15 @@ impl Mitigation for Trr {
         )
     }
 
+    #[inline]
     fn on_activate(&mut self, addr: RowAddr, geom: &Geometry, out: &mut ActionBuf) {
-        self.observe(addr);
-        self.acts_in_window += 1;
-        if !self.acts_in_window.is_multiple_of(self.sample_interval) {
+        let bi = self.bank_index(addr);
+        self.tables.observe_in(bi, addr.row as u64, |_| {});
+        self.until_sample -= 1;
+        if self.until_sample != 0 {
             return;
         }
+        self.until_sample = self.sample_interval;
         // Counters are intentionally NOT rewound after a targeted refresh:
         // real samplers keep favoring the hottest rows, which is exactly why
         // aggressors beyond the slot budget are never serviced.
@@ -146,7 +177,7 @@ impl Mitigation for Trr {
     /// tREFW boundary: flush every bank table and realign sampling windows.
     fn reset(&mut self) {
         self.tables.clear();
-        self.acts_in_window = 0;
+        self.until_sample = self.sample_interval;
         self.targeted_refreshes = 0;
     }
 }
@@ -178,7 +209,7 @@ mod tests {
     #[test]
     fn double_sided_aggressors_both_targeted_every_window() {
         let geom = Geometry::tiny(64);
-        let mut trr = Trr::new(16, 2, 100, 1);
+        let mut trr = Trr::new(16, 2, 100, 1, &geom);
         let pattern = [RowAddr::bank_row(0, 30), RowAddr::bank_row(0, 32)];
         let refreshed = drive(&mut trr, &geom, &pattern, 400);
         // 4 sampling windows, 2 slots each: the sandwiched victim (row 31)
@@ -194,10 +225,10 @@ mod tests {
     #[test]
     fn slot_budget_leaves_extra_aggressors_unserviced() {
         let geom = Geometry::tiny(64);
-        let mut trr = Trr::new(16, 2, 80, 1);
+        let mut trr = Trr::new(16, 2, 80, 1, &geom);
         // 8-sided: aggressors rows 10,12,..,24 — all fit in the table, but
         // only 2 slots exist. Deterministic tie-break (count desc, then
-        // address) always picks rows 10 and 12.
+        // row) always picks rows 10 and 12.
         let pattern: Vec<RowAddr> = (0..8).map(|i| RowAddr::bank_row(0, 10 + 2 * i)).collect();
         let refreshed = drive(&mut trr, &geom, &pattern, 800);
         assert!(refreshed.contains(&RowAddr::bank_row(0, 11)));
@@ -214,7 +245,7 @@ mod tests {
             banks: 2,
             rows_per_bank: 64,
         };
-        let mut trr = Trr::new(4, 1, 10, 1);
+        let mut trr = Trr::new(4, 1, 10, 1, &geom);
         let pattern = [RowAddr::bank_row(0, 20), RowAddr::bank_row(1, 40)];
         let refreshed = drive(&mut trr, &geom, &pattern, 40);
         // Each bank's lone aggressor is that bank's top row: both banks'
@@ -226,7 +257,7 @@ mod tests {
     #[test]
     fn misra_gries_estimate_never_exceeds_true_count() {
         let geom = Geometry::tiny(256);
-        let mut trr = Trr::new(4, 1, 1_000_000, 1);
+        let mut trr = Trr::new(4, 1, 1_000_000, 1, &geom);
         let aggr = RowAddr::bank_row(0, 100);
         let mut buf = ActionBuf::new();
         for i in 0u32..500 {
@@ -240,7 +271,7 @@ mod tests {
     #[test]
     fn reset_flushes_tables_and_realigns_window() {
         let geom = Geometry::tiny(64);
-        let mut trr = Trr::new(8, 2, 100, 1);
+        let mut trr = Trr::new(8, 2, 100, 1, &geom);
         let aggr = RowAddr::bank_row(0, 30);
         let mut buf = ActionBuf::new();
         for _ in 0..60 {
@@ -260,10 +291,43 @@ mod tests {
     fn deterministic_across_instances() {
         let geom = Geometry::tiny(128);
         let pattern: Vec<RowAddr> = (0..10).map(|i| RowAddr::bank_row(0, 10 + 2 * i)).collect();
-        let mut a = Trr::new(16, 2, 37, 2);
-        let mut b = Trr::new(16, 2, 37, 2);
+        let mut a = Trr::new(16, 2, 37, 2, &geom);
+        let mut b = Trr::new(16, 2, 37, 2, &geom);
         let ra = drive(&mut a, &geom, &pattern, 500);
         let rb = drive(&mut b, &geom, &pattern, 500);
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn multi_channel_rank_banks_service_their_own_aggressors() {
+        // Exercises the linear bank index / coordinate reconstruction over
+        // a geometry with every dimension > 1.
+        let geom = Geometry {
+            channels: 2,
+            ranks: 2,
+            banks: 4,
+            rows_per_bank: 64,
+        };
+        let pattern: Vec<RowAddr> = (0..8)
+            .map(|i| RowAddr {
+                channel: i % 2,
+                rank: (i / 2) % 2,
+                bank: i % 4,
+                row: 20 + 2 * i,
+            })
+            .collect();
+        let mut trr = Trr::new(8, 2, 50, 1, &geom);
+        let refreshed = drive(&mut trr, &geom, &pattern, 600);
+        // Every aggressor is its bank's hottest row, so each one's victims
+        // must be refreshed in its own (channel, rank, bank).
+        for aggr in &pattern {
+            assert!(
+                refreshed.iter().any(|r| r.channel == aggr.channel
+                    && r.rank == aggr.rank
+                    && r.bank == aggr.bank
+                    && r.row == aggr.row + 1),
+                "victim of {aggr:?} never refreshed"
+            );
+        }
     }
 }

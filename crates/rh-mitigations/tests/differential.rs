@@ -1,0 +1,174 @@
+//! Differential property tests: the flat-table Graphene/TRR must be
+//! action-for-action identical to the retained map-based references
+//! (`rh_mitigations::reference`) over seeded random activation streams, and
+//! the flat Misra–Gries table must respect the textbook error bound.
+//!
+//! These are the mitigation-layer twin of `rh-core`'s device differential
+//! tests: the proof that swapping `HashMap`/`BTreeMap` counter structures
+//! for `FlatCounterTable` is an observational no-op, which is what lets the
+//! default sweep's JSON stay byte-identical across the rewrite.
+
+use rh_core::{Geometry, RowAddr, SplitMix64};
+use rh_mitigations::reference::{MapGraphene, MapTrr};
+use rh_mitigations::{ActionBuf, Graphene, Mitigation, Trr};
+use std::collections::HashMap;
+
+/// One random activation stream: mostly a small hot set (aggressors), the
+/// rest uniform noise over the whole device, with occasional tREFW-style
+/// `reset()` calls — the same shape the engine drives.
+fn drive_pair(
+    a: &mut dyn Mitigation,
+    b: &mut dyn Mitigation,
+    geom: &Geometry,
+    ops_seed: u64,
+    steps: u32,
+) -> u64 {
+    let mut rng = SplitMix64::new(ops_seed);
+    let mut buf_a = ActionBuf::new();
+    let mut buf_b = ActionBuf::new();
+    let mut total_actions = 0u64;
+    let total_rows = geom.total_rows();
+    let hot_base = geom.rows_per_bank / 2;
+    for step in 0..steps {
+        let addr = if rng.chance(0.7) {
+            // Hot set: 8 aggressors spaced 2 apart around mid-bank of bank 0.
+            RowAddr::bank_row(0, hot_base + 2 * (rng.gen_range(8) as u32))
+        } else {
+            // Uniform over the WHOLE device — decompose the flat index into
+            // all four coordinates so channel/rank > 0 bank regions are
+            // differentially exercised too.
+            let flat = rng.gen_range(total_rows);
+            let row = (flat % geom.rows_per_bank as u64) as u32;
+            let bank_linear = (flat / geom.rows_per_bank as u64) as u32;
+            RowAddr {
+                channel: bank_linear / (geom.banks * geom.ranks),
+                rank: (bank_linear / geom.banks) % geom.ranks,
+                bank: bank_linear % geom.banks,
+                row,
+            }
+        };
+        buf_a.clear();
+        buf_b.clear();
+        a.on_activate(addr, geom, &mut buf_a);
+        b.on_activate(addr, geom, &mut buf_b);
+        assert_eq!(
+            buf_a.actions(),
+            buf_b.actions(),
+            "action streams diverged at step {step} on {addr:?}"
+        );
+        total_actions += buf_a.len() as u64;
+        // Occasional tREFW-style flush; note it also rewinds the instances'
+        // diagnostic counters, so callers assert on the returned cumulative
+        // action count instead.
+        if rng.chance(0.0005) {
+            a.reset();
+            b.reset();
+        }
+    }
+    total_actions
+}
+
+#[test]
+fn flat_graphene_matches_map_graphene_action_for_action() {
+    let geom = Geometry::tiny(4096);
+    for seed in 0..3 {
+        let mut flat = Graphene::new(16, 40, 2);
+        let mut map = MapGraphene::new(16, 40, 2);
+        let actions = drive_pair(&mut flat, &mut map, &geom, 0xD1FF + seed, 40_000);
+        assert_eq!(flat.refreshes_triggered(), map.refreshes_triggered());
+        assert!(actions > 0, "stream must exercise triggers");
+    }
+}
+
+#[test]
+fn flat_trr_matches_map_trr_action_for_action() {
+    let geom = Geometry {
+        channels: 2,
+        ranks: 2,
+        banks: 4,
+        rows_per_bank: 1024,
+    };
+    for seed in 0..3 {
+        let mut flat = Trr::new(8, 2, 117, 2, &geom);
+        let mut map = MapTrr::new(8, 2, 117, 2);
+        let actions = drive_pair(&mut flat, &mut map, &geom, 0x7BB + seed, 40_000);
+        assert_eq!(flat.targeted_refreshes(), map.targeted_refreshes());
+        assert!(actions > 0, "stream must exercise targeted refreshes");
+    }
+}
+
+/// Graphene's estimates obey the Misra–Gries bound against true counts:
+/// `true − W/(k+1) ≤ estimate ≤ true` for a stream of `W` observations
+/// through a `k`-entry table.
+#[test]
+fn graphene_estimates_respect_misra_gries_bound() {
+    let geom = Geometry::tiny(2048);
+    let k = 12;
+    // Threshold high enough that no trigger ever rewinds a counter — the
+    // bound as stated holds for the pure counting structure.
+    let mut g = Graphene::new(k, u64::MAX / 2, 1);
+    let mut truth: HashMap<u32, u64> = HashMap::new();
+    let mut rng = SplitMix64::new(99);
+    let mut buf = ActionBuf::new();
+    let w = 60_000u64;
+    for _ in 0..w {
+        let row = if rng.chance(0.4) {
+            1000 + rng.gen_range(4) as u32
+        } else {
+            rng.gen_range(2048) as u32
+        };
+        g.on_activate(RowAddr::bank_row(0, row), &geom, &mut buf);
+        *truth.entry(row).or_insert(0) += 1;
+    }
+    assert!(buf.is_empty(), "threshold must never fire in this test");
+    let max_undercount = w / (k as u64 + 1);
+    for (&row, &true_count) in &truth {
+        let est = g.estimate(RowAddr::bank_row(0, row), &geom);
+        assert!(est <= true_count, "row {row}: {est} > true {true_count}");
+        assert!(
+            est + max_undercount >= true_count,
+            "row {row}: {est} misses true {true_count} by more than W/(k+1)"
+        );
+    }
+    // The hot rows must be tracked within the bound's guarantee.
+    for hot in 1000..1004 {
+        let true_count = truth[&hot];
+        assert!(true_count > max_undercount, "hot row must exceed the bound");
+        assert!(g.estimate(RowAddr::bank_row(0, hot), &geom) > 0);
+    }
+}
+
+/// Identically-seeded runs of the full mitigation (not just the raw table)
+/// produce identical action streams — the spill/eviction path included.
+#[test]
+fn identically_seeded_runs_are_identical() {
+    let geom = Geometry::tiny(4096);
+    let run = |ops_seed: u64| {
+        let mut g = Graphene::new(8, 25, 2);
+        let mut rng = SplitMix64::new(ops_seed);
+        let mut buf = ActionBuf::new();
+        let mut log: Vec<RowAddr> = Vec::new();
+        for _ in 0..30_000 {
+            // 4 hot rows at 15% each — above the Misra–Gries tracking
+            // guarantee of 1/(k+1) ≈ 11% for the 8-entry table, so the hot
+            // counters provably accumulate through the noise-driven spills.
+            let row = if rng.chance(0.6) {
+                2048 + rng.gen_range(4) as u32
+            } else {
+                rng.gen_range(4096) as u32
+            };
+            buf.clear();
+            g.on_activate(RowAddr::bank_row(0, row), &geom, &mut buf);
+            for action in buf.actions() {
+                if let rh_mitigations::MitigationAction::RefreshRow(r) = action {
+                    log.push(*r);
+                }
+            }
+        }
+        log
+    };
+    let a = run(0xABCD);
+    let b = run(0xABCD);
+    assert!(!a.is_empty(), "stream must produce refreshes");
+    assert_eq!(a, b, "identically-seeded runs diverged");
+}

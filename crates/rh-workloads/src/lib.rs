@@ -14,14 +14,20 @@
 //! Hot-path invariant: `next_access` never allocates. Every generator here
 //! steps fixed state (an aggressor cursor, a toggle, an RNG) and returns a
 //! `Copy` address; `ManySided` materializes its aggressor list once at
-//! construction. The only allocating method is `name()`, which the engine
+//! construction, and [`Workload::fill_batch`] writes into the engine's
+//! reusable chunk buffer (which reaches its steady-state capacity on the
+//! first chunk). The only allocating method is `name()`, which the engine
 //! calls exactly once per run (for the result row), never per activation.
 //! New workloads must preserve this — the per-activation engine loop is
-//! allocation-free end to end (see `rh-cli::engine`).
+//! allocation-free end to end (see `rh-cli::engine`), and the same
+//! invariant extends to `rh-mitigations`: its counter tables
+//! (`FlatCounterTable`) never allocate after construction either, so
+//! nothing between the workload generator and the device model touches the
+//! allocator per activation.
 
 pub mod spec;
 
-pub use spec::WorkloadSpec;
+pub use spec::{BuiltWorkload, WorkloadSpec};
 
 use rh_core::{Geometry, RowAddr, SplitMix64};
 
@@ -32,6 +38,23 @@ pub trait Workload {
 
     /// Produce the next row to activate.
     fn next_access(&mut self) -> RowAddr;
+
+    /// Fill `out` with exactly the next `n` accesses (clearing it first).
+    ///
+    /// This is the engine's batching hook: pulling a chunk at a time turns
+    /// one virtual call per *activation* into one per *chunk*, and — because
+    /// default trait methods are instantiated per concrete impl — the
+    /// `next_access` calls inside this default body are statically
+    /// dispatched and inline into a tight fill loop. The default is correct
+    /// for every generator; override only if a workload can batch even more
+    /// cheaply. Semantics are identical to `n` successive `next_access`
+    /// calls, which keeps batched runs byte-identical to unbatched ones.
+    fn fill_batch(&mut self, out: &mut Vec<RowAddr>, n: usize) {
+        out.clear();
+        // extend over an exact-size iterator: one reservation, no per-item
+        // capacity check (unlike a push loop).
+        out.extend((0..n).map(|_| self.next_access()));
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for Box<W> {
@@ -41,6 +64,12 @@ impl<W: Workload + ?Sized> Workload for Box<W> {
 
     fn next_access(&mut self) -> RowAddr {
         (**self).next_access()
+    }
+
+    fn fill_batch(&mut self, out: &mut Vec<RowAddr>, n: usize) {
+        // Forward so the *inner* impl's (monomorphized) fill loop runs,
+        // rather than the default body paying a virtual hop per access.
+        (**self).fill_batch(out, n)
     }
 }
 
@@ -157,8 +186,45 @@ impl Workload for ManySided {
 
     fn next_access(&mut self) -> RowAddr {
         let addr = self.aggressors[self.cursor];
-        self.cursor = (self.cursor + 1) % self.aggressors.len();
+        // Branch instead of `%`: the cycle length is not a compile-time
+        // constant, and an integer division per activation is measurable in
+        // the batched fill loop.
+        self.cursor += 1;
+        if self.cursor == self.aggressors.len() {
+            self.cursor = 0;
+        }
         addr
+    }
+}
+
+/// The closed set of attack patterns, for monomorphized dispatch: the sweep
+/// executor's workload is a [`BenignMixer`]`<AttackKind>`, so the entire
+/// per-activation access-generation path — mixer RNG, attack cursor — is
+/// static calls that inline into [`Workload::fill_batch`]'s fill loop, with
+/// no per-access virtual hop to a boxed inner stream.
+#[derive(Debug, Clone)]
+pub enum AttackKind {
+    SingleSided(SingleSided),
+    DoubleSided(DoubleSided),
+    ManySided(ManySided),
+}
+
+impl Workload for AttackKind {
+    fn name(&self) -> String {
+        match self {
+            Self::SingleSided(w) => w.name(),
+            Self::DoubleSided(w) => w.name(),
+            Self::ManySided(w) => w.name(),
+        }
+    }
+
+    #[inline]
+    fn next_access(&mut self) -> RowAddr {
+        match self {
+            Self::SingleSided(w) => w.next_access(),
+            Self::DoubleSided(w) => w.next_access(),
+            Self::ManySided(w) => w.next_access(),
+        }
     }
 }
 
@@ -257,6 +323,29 @@ mod tests {
         // Random benign rows hit row 100 with probability 1/1024 — negligible.
         let frac = benign as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.01, "benign fraction was {frac}");
+    }
+
+    #[test]
+    fn fill_batch_matches_sequential_next_access() {
+        let g = Geometry::tiny(256);
+        let mk = || BenignMixer::new(ManySided::new(RowAddr::bank_row(0, 40), 5, &g), 0.4, g, 123);
+        let (mut seq, mut batched) = (mk(), mk());
+        let mut buf = Vec::new();
+        // Uneven chunk sizes straddle the aggressor cycle and RNG stream.
+        for n in [1usize, 7, 64, 3, 100] {
+            batched.fill_batch(&mut buf, n);
+            assert_eq!(buf.len(), n);
+            for (i, &addr) in buf.iter().enumerate() {
+                assert_eq!(addr, seq.next_access(), "chunk n={n} item {i}");
+            }
+        }
+        // Boxed dyn workloads forward to the inner impl's fill loop.
+        let mut boxed: Box<dyn Workload> = Box::new(mk());
+        let mut seq = mk();
+        boxed.fill_batch(&mut buf, 50);
+        for &addr in &buf {
+            assert_eq!(addr, seq.next_access());
+        }
     }
 
     #[test]

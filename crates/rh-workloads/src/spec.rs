@@ -9,8 +9,15 @@
 //! benign-mixer seed — the property the sweep's common-random-number
 //! comparisons across mitigations rely on.
 
-use crate::{BenignMixer, DoubleSided, ManySided, SingleSided, Workload};
+use crate::{AttackKind, BenignMixer, DoubleSided, ManySided, SingleSided};
 use rh_core::{Geometry, RowAddr};
+
+/// The concrete workload type a spec builds: the benign mixer over the
+/// monomorphized attack enum. The engine is generic over `Workload`, so
+/// running it on this type compiles the whole access-generation path —
+/// mixer RNG and attack cursor — into one inlined fill loop with zero
+/// virtual dispatch.
+pub type BuiltWorkload = BenignMixer<AttackKind>;
 
 /// Declarative description of one attack workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,35 +72,34 @@ impl WorkloadSpec {
 
     /// Materialize the attack stream wrapped in a [`BenignMixer`] drawing
     /// noise from `seed`. Fails if the spec does not fit the geometry.
+    /// Returns the concrete [`BuiltWorkload`] type so callers that
+    /// monomorphize over it (the engine) pay no per-access dispatch; box it
+    /// where `dyn Workload` is wanted.
     pub fn build(
         &self,
         geom: &Geometry,
         benign_fraction: f64,
         seed: u64,
-    ) -> Result<Box<dyn Workload>, String> {
+    ) -> Result<BuiltWorkload, String> {
         self.validate(geom)?;
         let victim = RowAddr::bank_row(0, geom.rows_per_bank / 2);
-        let attack: Box<dyn Workload> = match *self {
-            Self::SingleSided => Box::new(SingleSided::targeting(victim)),
-            Self::DoubleSided => Box::new(DoubleSided::targeting(victim, geom)),
-            Self::ManySided { sides } => Box::new(ManySided::new(
+        let attack = match *self {
+            Self::SingleSided => AttackKind::SingleSided(SingleSided::targeting(victim)),
+            Self::DoubleSided => AttackKind::DoubleSided(DoubleSided::targeting(victim, geom)),
+            Self::ManySided { sides } => AttackKind::ManySided(ManySided::new(
                 victim.with_row(victim.row - sides as u32),
                 sides,
                 geom,
             )),
         };
-        Ok(Box::new(BenignMixer::new(
-            attack,
-            benign_fraction,
-            *geom,
-            seed,
-        )))
+        Ok(BenignMixer::new(attack, benign_fraction, *geom, seed))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Workload;
 
     #[test]
     fn built_names_and_stream_ids_are_distinct() {
