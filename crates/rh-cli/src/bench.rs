@@ -5,8 +5,9 @@
 //! geometry (16 banks × 32K rows/bank) across `HC_first ∈ {4096, 512, 128}`
 //! (the paper's Section 8 generational→projected axis, where mitigation
 //! overheads explode as chips weaken), all five mitigation arms, three
-//! attack patterns, 2M activations per cell — twice through the identical
-//! experiment semantics:
+//! attack patterns, two stored-data patterns (the legacy model plus the
+//! Section 5 worst-case row-stripe) under on-die ECC, 2M activations per
+//! cell — twice through the identical experiment semantics:
 //!
 //! * **legacy**: the retained pre-optimization path — a fresh
 //!   [`EagerDeviceState`] per cell (thresholds re-derived, eager
@@ -16,7 +17,8 @@
 //!   TRR) behind `Box<dyn Mitigation>`, and the unbatched step-at-a-time
 //!   loop with one virtual workload call and one virtual mitigation call
 //!   per activation;
-//! * **optimized**: the shipping path — `Arc`-shared [`DeviceTables`],
+//! * **optimized**: the shipping path — `Arc`-shared
+//!   [`rh_core::DeviceTables`],
 //!   epoch-based O(1) refresh, flat cache-resident counter tables
 //!   (`FlatCounterTable`), batched workload pulls (`fill_batch`), and
 //!   monomorphized `MitigationKind` dispatch (exactly what `rh-cli sweep`
@@ -25,18 +27,19 @@
 //! Both paths must produce **identical** `RunResult`s for every cell — this
 //! doubles as the benchmark's determinism/equivalence check (and as a
 //! differential test of the flat counter tables against their map-based
-//! references at full scale), and the run fails (non-zero exit) if it
-//! regresses. Each cell is timed `--repeat` times per path and the minimum
-//! is reported, so one scheduling hiccup cannot skew a cell. The report
-//! (`BENCH_4.json`) records the toolchain (`rustc --version`) and git
+//! references at full scale — and, since PR 5, of the Section 5 victim
+//! model against the eager reference), and the run fails (non-zero exit)
+//! if it regresses. Each cell is timed `--repeat` times per path and the
+//! minimum is reported, so one scheduling hiccup cannot skew a cell. The
+//! report (`BENCH_5.json`) records the toolchain (`rustc --version`) and git
 //! revision alongside per-cell times, a per-mitigation breakdown, and
 //! aggregate activations/sec for both paths.
 
 use crate::engine::RunResult;
-use crate::exec::{build_table_cache, Worker};
+use crate::exec::{build_table_cache, cell_params, Worker};
 use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
 use crate::sweep::SweepConfig;
-use rh_core::{Device, EagerDeviceState, Geometry, VictimModelParams};
+use rh_core::{DataPattern, Device, EagerDeviceState, Geometry};
 use rh_mitigations::{reference::build_reference, ActionBuf, Mitigation, MitigationAction};
 use rh_workloads::Workload;
 use std::fmt::Write as _;
@@ -63,7 +66,7 @@ impl Default for BenchOptions {
     fn default() -> Self {
         Self {
             quick: false,
-            out_path: "BENCH_4.json".to_string(),
+            out_path: "BENCH_5.json".to_string(),
             repeat: 3,
             filter: None,
             min_acts_per_sec: None,
@@ -85,6 +88,11 @@ pub fn reference_config(quick: bool) -> SweepConfig {
         hc_firsts: vec![4096, 512, 128],
         sides: vec![8],
         para_probabilities: vec![0.004],
+        // One legacy slice (comparable with BENCH_4's cells) plus one
+        // Section 5 slice: the worst-case row-stripe pattern under on-die
+        // ECC, timing the pattern-scaled settle path and the post-ECC scan.
+        data_patterns: vec![DataPattern::Legacy, DataPattern::RowStripe],
+        ecc_codeword_bits: 128,
         benign_fraction: 0.1,
         auto_refresh_interval: 32_000,
         geometry: if quick {
@@ -112,6 +120,8 @@ pub struct CellTiming {
     pub workload: String,
     pub mitigation: String,
     pub hc_first: u64,
+    /// Stored data pattern of the cell (Section 5 axis).
+    pub data_pattern: String,
     pub legacy_secs: f64,
     pub optimized_secs: f64,
 }
@@ -185,11 +195,15 @@ fn run_unbatched(
         workload: workload.name(),
         mitigation: mitigation.name(),
         hc_first: device.params().hc_first,
+        data_pattern: device.params().data_pattern.name().to_string(),
         activations,
         total_flips: device.total_flips(),
         flipped_rows: device.flipped_rows(),
         flips_per_mact: device.flips_per_mact(),
         refreshes_issued: device.refreshes_issued(),
+        flips_1to0: device.flips_1to0(),
+        flips_0to1: device.flips_0to1(),
+        post_ecc_flips: device.post_ecc_flips(),
     }
 }
 
@@ -197,7 +211,7 @@ fn run_unbatched(
 /// re-derived per cell), map-based counter mitigations, fresh action
 /// buffer, unbatched dyn-dispatch loop.
 fn run_cell_legacy(plan: &SweepPlan, cell: &CellSpec) -> RunResult {
-    let params = VictimModelParams::with_hc_first(cell.hc_first);
+    let params = cell_params(plan, cell);
     let mut device = EagerDeviceState::new(plan.config.geometry, params, cell.seeds.device);
     // Boxed: the legacy loop pays the historical virtual call per access.
     let mut workload: Box<dyn Workload> = Box::new(
@@ -229,14 +243,19 @@ fn results_identical(a: &RunResult, b: &RunResult) -> bool {
     a.workload == b.workload
         && a.mitigation == b.mitigation
         && a.hc_first == b.hc_first
+        && a.data_pattern == b.data_pattern
         && a.activations == b.activations
         && a.total_flips == b.total_flips
         && a.flipped_rows == b.flipped_rows
         && a.flips_per_mact.to_bits() == b.flips_per_mact.to_bits()
         && a.refreshes_issued == b.refreshes_issued
+        && a.flips_1to0 == b.flips_1to0
+        && a.flips_0to1 == b.flips_0to1
+        && a.post_ecc_flips == b.post_ecc_flips
 }
 
-/// `workload/mitigation` display label of a cell, for `--filter` matching.
+/// `pattern/workload/mitigation` display label of a cell, for `--filter`
+/// matching.
 fn cell_label(plan: &SweepPlan, cell: &CellSpec) -> String {
     let workload = cell
         .workload
@@ -251,7 +270,7 @@ fn cell_label(plan: &SweepPlan, cell: &CellSpec) -> String {
         .mitigation
         .build(&plan.config.geometry, cell.hc_first, BLAST_RADIUS, 0)
         .name();
-    format!("{workload}/{mitigation}")
+    format!("{}/{workload}/{mitigation}", cell.data_pattern.name())
 }
 
 /// Output of an external command's first line, or "unknown". Used for the
@@ -353,6 +372,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
             workload: result.workload,
             mitigation: result.mitigation,
             hc_first: cell.hc_first,
+            data_pattern: result.data_pattern,
             legacy_secs: lt[ci],
             optimized_secs: ot[ci],
         });
@@ -437,10 +457,12 @@ pub fn render(report: &BenchReport) -> String {
         let _ = writeln!(
             rows,
             "    {{\"workload\": \"{}\", \"mitigation\": \"{}\", \"hc_first\": {}, \
+             \"data_pattern\": \"{}\", \
              \"legacy_secs\": {}, \"optimized_secs\": {}, \"speedup\": {}}}{sep}",
             c.workload,
             c.mitigation,
             c.hc_first,
+            c.data_pattern,
             fnum(c.legacy_secs),
             fnum(c.optimized_secs),
             fnum(c.legacy_secs / c.optimized_secs),
@@ -466,7 +488,8 @@ pub fn render(report: &BenchReport) -> String {
     }
     let g = &report.geometry;
     format!(
-        "{{\n  \"bench\": \"reference sweep (hc_first in {{4096,512,128}}, all mitigations)\",\n  \
+        "{{\n  \"bench\": \"reference sweep (hc_first in {{4096,512,128}}, legacy+rowstripe \
+         patterns, ECC(128), all mitigations)\",\n  \
          \"quick\": {},\n  \
          \"repeat\": {},\n  \
          \"filter\": {},\n  \
@@ -511,8 +534,9 @@ mod tests {
         for quick in [true, false] {
             let cfg = reference_config(quick);
             let plan = SweepPlan::from_config(&cfg).expect("reference config must plan");
-            // 3 hc × (single + double + many-sided(8)) × 5 mitigations.
-            assert_eq!(plan.grid.len(), 45);
+            // 3 hc × 2 patterns × (single + double + many-sided(8)) × 5
+            // mitigations.
+            assert_eq!(plan.grid.len(), 90);
         }
     }
 
@@ -553,7 +577,14 @@ mod tests {
             .iter()
             .filter(|c| cell_label(&plan, c).contains("graphene"))
             .count();
-        assert_eq!(matching, 9, "3 hc × 3 workloads of graphene cells");
+        assert_eq!(matching, 18, "3 hc × 2 patterns × 3 workloads of graphene");
+        // The label's leading pattern component makes the axis filterable.
+        let striped = plan
+            .grid
+            .iter()
+            .filter(|c| cell_label(&plan, c).starts_with("rowstripe/"))
+            .count();
+        assert_eq!(striped, 45);
     }
 
     #[test]
@@ -585,6 +616,7 @@ mod tests {
                 workload: "w".into(),
                 mitigation: "m(k=1)".into(),
                 hc_first: 128,
+                data_pattern: "rowstripe".into(),
                 legacy_secs: 0.5,
                 optimized_secs: 0.1,
             }],
@@ -611,6 +643,7 @@ mod tests {
         assert!(s.contains("\"rustc\": \"rustc 1.0 \\\"quoted\\\"\""));
         assert!(s.contains("\"mitigation_breakdown\""));
         assert!(s.contains("\"hc_first\": 128"));
+        assert!(s.contains("\"data_pattern\": \"rowstripe\""));
         assert!(!s.contains("NaN"));
     }
 

@@ -6,6 +6,7 @@
 
 use crate::bench::BenchOptions;
 use crate::sweep::SweepConfig;
+use rh_core::DataPattern;
 
 pub const USAGE: &str = "\
 rh-cli — RowHammer mitigation sweep (Kim et al., ISCA 2020 reproduction)
@@ -21,6 +22,13 @@ SWEEP OPTIONS:
     --hc <A,B,...>          HC_first values to sweep (default 2000,4000,8000,16000)
     --sides <A,B,...>       many-sided aggressor counts, each >= 2 (default 2,4,8,16)
     --para-p <P1,P2,...>    PARA sampling probabilities (default 0.0,0.001,0.004,0.016)
+    --data-pattern <P,...>  stored data patterns to sweep: legacy, solid,
+                            checkerboard, rowstripe (default legacy; anything
+                            beyond legacy adds per-result data_pattern and
+                            1->0 / 0->1 flip-direction fields)
+    --ecc <BITS>            enable on-die ECC with BITS cells per codeword
+                            (corrects one flip per codeword; results then
+                            report pre- and post-ECC flip counts; default off)
     --benign-fraction <F>   fraction of benign traffic mixed in (default 0.1)
     --refresh-interval <N>  auto-refresh (tREFW) period in activations,
                             0 disables (default 32000)
@@ -30,11 +38,12 @@ SWEEP OPTIONS:
 
 BENCH OPTIONS:
     --quick                 shrink the reference sweep for CI smoke runs
-    --out <PATH>            report path (default BENCH_4.json)
+    --out <PATH>            report path (default BENCH_5.json)
     --repeat <N>            timing runs per cell per path, min reported
                             (default 3)
-    --filter <SUBSTR>       only run cells whose workload/mitigation label
-                            contains SUBSTR
+    --filter <SUBSTR>       only run cells whose pattern/workload/mitigation
+                            label contains SUBSTR (e.g. 'rowstripe/' selects
+                            the Section 5 slice, 'graphene' one mitigation)
     --min-acts-per-sec <R>  exit non-zero if aggregate optimized throughput
                             falls below R (CI perf guard)
 
@@ -168,6 +177,33 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--para-p" => {
                 cfg.para_probabilities = parse_list(&value(&mut i, "--para-p")?, "--para-p")?;
             }
+            "--data-pattern" => {
+                // Parsed by hand (not via parse_list) so the rejection
+                // message names the valid patterns, not just the bad token.
+                let v = value(&mut i, "--data-pattern")?;
+                let patterns: Result<Vec<DataPattern>, String> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|x| !x.is_empty())
+                    .map(str::parse)
+                    .collect();
+                cfg.data_patterns = patterns?;
+                if cfg.data_patterns.is_empty() {
+                    return Err("--data-pattern requires at least one value".to_string());
+                }
+            }
+            "--ecc" => {
+                let v = value(&mut i, "--ecc")?;
+                let bits: u32 = v.parse().map_err(|_| format!("invalid --ecc '{v}'"))?;
+                if bits == 0 {
+                    return Err(
+                        "--ecc codeword size must be at least 1 cell (omit the flag to \
+                         disable ECC)"
+                            .to_string(),
+                    );
+                }
+                cfg.ecc_codeword_bits = bits;
+            }
             "--benign-fraction" => {
                 let v = value(&mut i, "--benign-fraction")?;
                 cfg.benign_fraction = v
@@ -222,7 +258,44 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.config.seed, 0xC0FFEE);
         assert_eq!(a.config.auto_refresh_interval, 32_000);
+        assert_eq!(a.config.data_patterns, vec![DataPattern::Legacy]);
+        assert_eq!(a.config.ecc_codeword_bits, 0);
+        assert!(!a.config.extended_victim_model());
         assert!(a.threads >= 1);
+    }
+
+    #[test]
+    fn data_pattern_and_ecc_flags_parse() {
+        let a = parse(&["--data-pattern", "legacy, rowstripe ,solid", "--ecc", "128"]).unwrap();
+        assert_eq!(
+            a.config.data_patterns,
+            vec![
+                DataPattern::Legacy,
+                DataPattern::RowStripe,
+                DataPattern::Solid
+            ]
+        );
+        assert_eq!(a.config.ecc_codeword_bits, 128);
+        assert!(a.config.extended_victim_model());
+    }
+
+    #[test]
+    fn unknown_data_pattern_is_rejected_naming_the_valid_set() {
+        let err = parse(&["--data-pattern", "legacy,zebra"]).unwrap_err();
+        assert!(err.contains("unknown data pattern 'zebra'"), "got '{err}'");
+        assert!(err.contains("rowstripe"), "error must list the valid set");
+    }
+
+    #[test]
+    fn zero_and_oversized_ecc_codewords_are_rejected() {
+        let err = parse(&["--ecc", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "got '{err}'");
+        let err = parse(&["--ecc", "8193"]).unwrap_err();
+        assert!(err.contains("exceeds"), "got '{err}'");
+        assert!(parse(&["--ecc", "x"]).is_err());
+        assert!(parse(&["--ecc"]).is_err());
+        assert!(parse(&["--data-pattern", ","]).is_err());
+        assert!(parse(&["--data-pattern"]).is_err());
     }
 
     #[test]
@@ -333,7 +406,7 @@ mod tests {
         match parse_bench_args(&[]).unwrap() {
             BenchInvocation::Bench(o) => {
                 assert!(!o.quick);
-                assert_eq!(o.out_path, "BENCH_4.json");
+                assert_eq!(o.out_path, "BENCH_5.json");
                 assert_eq!(o.repeat, 3);
                 assert_eq!(o.filter, None);
                 assert_eq!(o.min_acts_per_sec, None);

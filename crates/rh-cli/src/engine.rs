@@ -63,11 +63,22 @@ pub struct RunResult {
     pub workload: String,
     pub mitigation: String,
     pub hc_first: u64,
+    /// Stored data pattern the device ran under (`"legacy"` for the
+    /// pattern-agnostic model).
+    pub data_pattern: String,
     pub activations: u64,
+    /// Raw (pre-ECC) bit flips recorded by the device.
     pub total_flips: u64,
     pub flipped_rows: u64,
     pub flips_per_mact: f64,
     pub refreshes_issued: u64,
+    /// Flips in true-cell rows (1→0); with `flips_0to1` this partitions
+    /// `total_flips`.
+    pub flips_1to0: u64,
+    /// Flips in anti-cell rows (0→1).
+    pub flips_0to1: u64,
+    /// Flips still visible after on-die ECC; `None` when ECC is disabled.
+    pub post_ecc_flips: Option<u64>,
 }
 
 /// Drive `workload` through `mitigation` into `device` for `activations`
@@ -131,11 +142,15 @@ where
         workload: workload.name(),
         mitigation: mitigation.name(),
         hc_first: device.params().hc_first,
+        data_pattern: device.params().data_pattern.name().to_string(),
         activations,
         total_flips: device.total_flips(),
         flipped_rows: device.flipped_rows(),
         flips_per_mact: device.flips_per_mact(),
         refreshes_issued: device.refreshes_issued(),
+        flips_1to0: device.flips_1to0(),
+        flips_0to1: device.flips_0to1(),
+        post_ecc_flips: device.post_ecc_flips(),
     }
 }
 

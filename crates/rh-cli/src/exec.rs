@@ -17,33 +17,54 @@
 //!   common-random-number structure means all cells at one `HC_first` share
 //!   one table set instead of re-deriving O(total_rows) thresholds per cell.
 //! * **Per-worker device reuse**: each worker owns one [`DeviceState`] and
-//!   one [`ActionBuf`] for its whole shard, resetting them per cell
+//!   one [`rh_mitigations::ActionBuf`] for its whole shard, resetting them
+//!   per cell
 //!   (`reset_for_cell`) instead of reallocating charge/activation/flip
 //!   vectors for every cell.
 
 use crate::engine::{run_experiment, EngineScratch, RunResult};
 use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
-use rh_core::{DeviceState, DeviceTables, VictimModelParams};
+use rh_core::{DataPattern, DeviceState, DeviceTables, VictimModelParams};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Shared immutable tables per distinct `(hc_first, device_seed)` device.
-pub(crate) type TableCache = BTreeMap<(u64, u64), Arc<DeviceTables>>;
+/// Shared immutable tables per distinct `(hc_first, data_pattern,
+/// device_seed)` device — the data pattern is part of the table identity
+/// because it scales the precomputed attenuation and the per-row
+/// charged-cell budgets. The threshold vector inside is pattern-invariant,
+/// so a multi-pattern sweep re-derives it once per pattern; that is a
+/// deliberate trade-off (a per-sweep O(total_rows) cost, dwarfed by cell
+/// execution) to keep `DeviceTables` a single self-contained `Arc` rather
+/// than a two-level sharing structure.
+pub(crate) type TableCache = BTreeMap<(u64, DataPattern, u64), Arc<DeviceTables>>;
+
+/// The victim-model parameters one cell simulates: the sweep's `HC_first`
+/// point plus the cell's Section 5 axes (data pattern from the cell, ECC
+/// from the sweep-wide config). The one place specs become device
+/// parameters — the sharded executor and the benchmark's legacy path both
+/// build from here, so the two can never disagree on what a cell means.
+pub(crate) fn cell_params(plan: &SweepPlan, cell: &CellSpec) -> VictimModelParams {
+    VictimModelParams {
+        data_pattern: cell.data_pattern,
+        ecc_codeword_bits: plan.config.ecc_codeword_bits,
+        ..VictimModelParams::with_hc_first(cell.hc_first)
+    }
+}
 
 /// Derive the tables every cell in the shard will need, exactly once each.
 pub(crate) fn build_table_cache(plan: &SweepPlan, cells: &[CellSpec]) -> TableCache {
     let mut cache = TableCache::new();
     for cell in cells {
         cache
-            .entry((cell.hc_first, cell.seeds.device))
+            .entry((cell.hc_first, cell.data_pattern, cell.seeds.device))
             .or_insert_with(|| {
                 DeviceTables::shared(
                     plan.config.geometry,
-                    VictimModelParams::with_hc_first(cell.hc_first),
+                    cell_params(plan, cell),
                     cell.seeds.device,
                 )
-                .expect("geometry is validated at plan time")
+                .expect("geometry and victim params are validated at plan time")
             });
     }
     cache
@@ -75,7 +96,7 @@ impl Worker {
         cell: &CellSpec,
         tables: &TableCache,
     ) -> RunResult {
-        let cell_tables = tables[&(cell.hc_first, cell.seeds.device)].clone();
+        let cell_tables = tables[&(cell.hc_first, cell.data_pattern, cell.seeds.device)].clone();
         let device = match self.device.as_mut() {
             Some(device) => {
                 device.reset_for_cell(cell_tables);
@@ -192,9 +213,32 @@ mod tests {
     fn table_cache_is_shared_per_device_not_per_cell() {
         let plan = tiny_plan();
         let tables = build_table_cache(&plan, &plan.grid);
-        // 2 hc_first values × 1 shared device seed — far fewer than cells.
+        // 2 hc_first values × 1 pattern × 1 shared device seed — far fewer
+        // than cells.
         assert_eq!(tables.len(), 2);
         assert!(plan.grid.len() > tables.len());
+    }
+
+    #[test]
+    fn table_cache_keys_distinguish_data_patterns() {
+        let cfg = SweepConfig {
+            activations: 1_000,
+            hc_firsts: vec![500],
+            sides: vec![4],
+            data_patterns: vec![
+                rh_core::DataPattern::Legacy,
+                rh_core::DataPattern::RowStripe,
+            ],
+            geometry: rh_core::Geometry::tiny(64),
+            ..SweepConfig::default()
+        };
+        let plan = SweepPlan::from_config(&cfg).unwrap();
+        let tables = build_table_cache(&plan, &plan.grid);
+        // 1 hc × 2 patterns: pattern-scaled attenuation/budgets must not be
+        // shared across patterns.
+        assert_eq!(tables.len(), 2);
+        let results = execute_cells(&plan, &plan.grid, 2);
+        assert_eq!(results.len(), plan.grid.len());
     }
 
     #[test]

@@ -11,11 +11,11 @@
 //! the device model — batched (`Workload::fill_batch` chunks) and fully
 //! monomorphized (`MitigationKind` enum dispatch, concrete workload type);
 //! [`json`] renders results as a JSON table (the shape of the paper's
-//! Figures 7–9: bit-flip rate vs. hammer count per mitigation); [`bench`]
+//! Figures 7–9: bit-flip rate vs. hammer count per mitigation); [`mod@bench`]
 //! is the benchmark harness (`rh-cli bench`) that times the optimized hot
 //! path against the retained pre-optimization path (eager device, map-based
 //! counter mitigations, unbatched dyn dispatch) over a pinned reference
-//! sweep and emits `BENCH_4.json`.
+//! sweep and emits `BENCH_5.json`.
 
 pub mod bench;
 pub mod cli;

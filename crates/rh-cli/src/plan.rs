@@ -32,7 +32,7 @@
 //!   higher `p`, and the PARA sweep is provably monotone.
 
 use crate::sweep::SweepConfig;
-use rh_core::derive_seed;
+use rh_core::{derive_seed, DataPattern};
 use rh_mitigations::MitigationSpec;
 use rh_workloads::WorkloadSpec;
 
@@ -78,6 +78,10 @@ pub struct CellSpec {
     /// Position in plan (= output) order.
     pub index: usize,
     pub hc_first: u64,
+    /// Stored data pattern the cell's device is initialized with. Not a
+    /// seed coordinate: all patterns share the CRN device seed, so pattern
+    /// comparisons run over identical per-row thresholds and orientations.
+    pub data_pattern: DataPattern,
     pub workload: WorkloadSpec,
     pub mitigation: MitigationSpec,
     pub activations: u64,
@@ -148,19 +152,24 @@ impl SweepPlan {
         let mitigations = mitigation_axis();
         let hc_firsts = &cfg.hc_firsts;
 
-        let mut grid = Vec::with_capacity(hc_firsts.len() * workloads.len() * mitigations.len());
+        let mut grid = Vec::with_capacity(
+            hc_firsts.len() * cfg.data_patterns.len() * workloads.len() * mitigations.len(),
+        );
         for &hc_first in hc_firsts {
-            for workload in &workloads {
-                for mitigation in &mitigations {
-                    grid.push(CellSpec {
-                        index: grid.len(),
-                        hc_first,
-                        workload: *workload,
-                        mitigation: mitigation.clone(),
-                        activations: cfg.activations,
-                        auto_refresh_interval: cfg.auto_refresh_interval,
-                        seeds: CellSeeds::derive(cfg.seed, workload),
-                    });
+            for &data_pattern in &cfg.data_patterns {
+                for workload in &workloads {
+                    for mitigation in &mitigations {
+                        grid.push(CellSpec {
+                            index: grid.len(),
+                            hc_first,
+                            data_pattern,
+                            workload: *workload,
+                            mitigation: mitigation.clone(),
+                            activations: cfg.activations,
+                            auto_refresh_interval: cfg.auto_refresh_interval,
+                            seeds: CellSeeds::derive(cfg.seed, workload),
+                        });
+                    }
                 }
             }
         }
@@ -176,6 +185,10 @@ impl SweepPlan {
             .map(|(index, &probability)| CellSpec {
                 index,
                 hc_first: hc_min,
+                // First pattern on the axis (the legacy model by default):
+                // one pattern keeps the PARA sweep's CRN subset argument
+                // exact.
+                data_pattern: cfg.data_patterns[0],
                 workload: WorkloadSpec::DoubleSided,
                 mitigation: MitigationSpec::Para { probability },
                 activations: cfg.activations,
@@ -239,8 +252,38 @@ mod tests {
         let mut c = cfg();
         c.hc_firsts = vec![1000, 1000, 2000];
         c.sides = vec![4, 4];
+        c.data_patterns = vec![DataPattern::Legacy, DataPattern::Legacy];
         let plan = SweepPlan::from_config(&c).unwrap();
         assert_eq!(plan.grid.len(), 2 * 3 * 5);
+    }
+
+    #[test]
+    fn data_pattern_axis_multiplies_the_grid_and_shares_seeds() {
+        let mut c = cfg();
+        c.data_patterns = vec![DataPattern::Legacy, DataPattern::RowStripe];
+        let plan = SweepPlan::from_config(&c).unwrap();
+        // 2 hc × 2 patterns × 4 workloads × 5 mitigations.
+        assert_eq!(plan.grid.len(), 2 * 2 * 4 * 5);
+        let first = plan.grid[0].seeds;
+        for cell in &plan.grid {
+            assert_eq!(
+                cell.seeds.device, first.device,
+                "patterns share the CRN device seed"
+            );
+        }
+        let patterns: Vec<DataPattern> = plan
+            .grid
+            .iter()
+            .filter(|c| c.hc_first == 1000)
+            .map(|c| c.data_pattern)
+            .collect();
+        assert_eq!(&patterns[..20], vec![DataPattern::Legacy; 20].as_slice());
+        assert_eq!(&patterns[20..], vec![DataPattern::RowStripe; 20].as_slice());
+        // The PARA sweep pins the first pattern on the axis.
+        assert!(plan
+            .para_sweep
+            .iter()
+            .all(|c| c.data_pattern == DataPattern::Legacy));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use crate::engine::RunResult;
 use crate::exec::execute_cells;
 use crate::plan::SweepPlan;
-use rh_core::Geometry;
+use rh_core::{DataPattern, Geometry, VictimModelParams};
 
 /// Configuration of one full sweep.
 #[derive(Debug, Clone)]
@@ -22,6 +22,14 @@ pub struct SweepConfig {
     pub sides: Vec<usize>,
     /// PARA sampling probabilities for the monotonicity sweep.
     pub para_probabilities: Vec<f64>,
+    /// Stored data patterns to sweep (Section 5 victim model). The default
+    /// — `[DataPattern::Legacy]` alone — reproduces the pattern-agnostic
+    /// engine byte for byte.
+    pub data_patterns: Vec<DataPattern>,
+    /// On-die ECC codeword size in cells; 0 disables the ECC layer. When
+    /// enabled, every result reports post-ECC visible flips alongside the
+    /// raw (pre-ECC) counts.
+    pub ecc_codeword_bits: u32,
     /// Fraction of benign traffic mixed into every attack stream.
     pub benign_fraction: f64,
     /// Periodic full-device refresh (the tREFW window) in activations;
@@ -38,6 +46,8 @@ impl Default for SweepConfig {
             hc_firsts: vec![2_000, 4_000, 8_000, 16_000],
             sides: vec![2, 4, 8, 16],
             para_probabilities: vec![0.0, 0.001, 0.004, 0.016],
+            data_patterns: vec![DataPattern::Legacy],
+            ecc_codeword_bits: 0,
             benign_fraction: 0.1,
             // A tREFW window that separates the regimes: at the top of the
             // default HC_first axis one window cannot accumulate enough
@@ -78,9 +88,18 @@ impl SweepConfig {
         Self {
             hc_firsts: dedup_in_order(&self.hc_firsts),
             sides: dedup_in_order(&self.sides),
+            data_patterns: dedup_in_order(&self.data_patterns),
             para_probabilities,
             ..self.clone()
         }
+    }
+
+    /// Whether the Section 5 victim-model axes are in play: any data
+    /// pattern beyond the legacy model, or on-die ECC. Gates the extra
+    /// per-result fields the JSON reporter emits, so sweeps with the axes
+    /// unset stay byte-identical to the pre-Section-5 output.
+    pub fn extended_victim_model(&self) -> bool {
+        self.ecc_codeword_bits != 0 || self.data_patterns != vec![DataPattern::Legacy]
     }
 
     /// Semantic validation shared by the CLI and [`SweepPlan::from_config`].
@@ -112,6 +131,21 @@ impl SweepConfig {
             return Err(format!(
                 "benign fraction {} must be in [0, 1]",
                 self.benign_fraction
+            ));
+        }
+        if self.data_patterns.is_empty() {
+            return Err("at least one data pattern is required".to_string());
+        }
+        // Geometry-style validation of the ECC axis: the codeword must be a
+        // real (nonzero) slice of a row. The same checks guard
+        // `DeviceTables::new`, but failing here keeps the error at config
+        // level instead of deep inside a worker thread. Sweeps always
+        // simulate the default row width, so the bound is the shared const.
+        if self.ecc_codeword_bits > VictimModelParams::DEFAULT_CELLS_PER_ROW {
+            return Err(format!(
+                "ECC codeword of {} bits exceeds the {} cells in a row",
+                self.ecc_codeword_bits,
+                VictimModelParams::DEFAULT_CELLS_PER_ROW
             ));
         }
         Ok(())

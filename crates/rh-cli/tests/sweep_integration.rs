@@ -2,7 +2,7 @@
 //! test suite stays fast).
 
 use rh_cli::{json, run_sweep, RunResult, SweepConfig, SweepOutput};
-use rh_core::Geometry;
+use rh_core::{DataPattern, Geometry};
 
 /// Reduced grid: 3 HC_first × (2 classic + 2 many-sided) × 5 mitigations,
 /// two tREFW windows per cell.
@@ -16,6 +16,7 @@ fn small_config() -> SweepConfig {
         benign_fraction: 0.1,
         auto_refresh_interval: 12_000,
         geometry: Geometry::tiny(4096),
+        ..SweepConfig::default()
     }
 }
 
@@ -68,7 +69,7 @@ fn bench_quick_paths_are_equivalent() {
     })
     .expect("quick bench must run");
     assert!(report.equivalent, "optimized and eager paths diverged");
-    assert_eq!(report.cells.len(), 45);
+    assert_eq!(report.cells.len(), 90);
     let doc = rh_cli::bench::render(&report);
     assert!(doc.contains("\"equivalent\": true"));
 }
@@ -232,6 +233,132 @@ fn invalid_configs_are_rejected_not_paniced() {
     let mut cfg = small_config();
     cfg.para_probabilities.clear();
     assert!(run_sweep(&cfg, 1).is_err());
+}
+
+/// A config exercising the Section 5 axes: every data pattern plus on-die
+/// ECC, on the unmitigated low-HC corner so flips actually occur.
+fn victim_model_config() -> SweepConfig {
+    SweepConfig {
+        activations: 24_000,
+        hc_firsts: vec![1_000],
+        sides: vec![8],
+        data_patterns: vec![
+            DataPattern::Legacy,
+            DataPattern::Solid,
+            DataPattern::Checkerboard,
+            DataPattern::RowStripe,
+        ],
+        ecc_codeword_bits: 128,
+        ..small_config()
+    }
+}
+
+#[test]
+fn default_axes_emit_no_victim_model_fields() {
+    // The acceptance contract's test half: a default-axes document must not
+    // contain any of the new fields (the byte-for-byte comparison against
+    // the pre-PR binary is run in CI / during development).
+    let doc = json::render(&small_sweep());
+    for field in [
+        "data_pattern",
+        "flips_1to0",
+        "flips_0to1",
+        "post_ecc_flips",
+        "ecc_codeword_bits",
+    ] {
+        assert!(!doc.contains(field), "default sweep leaked '{field}'");
+    }
+}
+
+#[test]
+fn victim_model_sweep_is_thread_invariant_and_reports_new_fields() {
+    let cfg = victim_model_config();
+    let serial = json::render(&run_sweep(&cfg, 1).unwrap());
+    let sharded = json::render(&run_sweep(&cfg, 8).unwrap());
+    assert_eq!(serial, sharded, "extended axes must stay byte-identical");
+    assert!(serial
+        .contains("\"data_patterns\": [\"legacy\", \"solid\", \"checkerboard\", \"rowstripe\"]"));
+    assert!(serial.contains("\"ecc_codeword_bits\": 128"));
+    assert!(serial.contains("\"data_pattern\": \"rowstripe\""));
+    assert!(serial.contains("\"flips_1to0\""));
+    assert!(serial.contains("\"post_ecc_flips\""));
+}
+
+#[test]
+fn data_pattern_ordering_matches_section_5() {
+    let out = run_sweep(&victim_model_config(), 2).unwrap();
+    let unmitigated_flips = |pattern: &str| -> u64 {
+        out.grid
+            .iter()
+            .filter(|r| r.mitigation == "none" && r.data_pattern == pattern)
+            .map(|r| r.total_flips)
+            .sum()
+    };
+    let legacy = unmitigated_flips("legacy");
+    let solid = unmitigated_flips("solid");
+    let stripe = unmitigated_flips("rowstripe");
+    assert!(legacy > 0 && stripe > 0);
+    // Solid (uniform data, weakest coupling, only true-cell rows charged)
+    // must flip strictly less than the pattern-agnostic model; the
+    // worst-case row-stripe must beat solid — the paper's Section 5.1
+    // ordering.
+    assert!(
+        solid < legacy,
+        "solid ({solid}) must flip less than legacy ({legacy})"
+    );
+    assert!(
+        stripe > solid,
+        "rowstripe ({stripe}) must flip more than solid ({solid})"
+    );
+}
+
+#[test]
+fn flip_directions_partition_totals_and_follow_orientation() {
+    let out = run_sweep(&victim_model_config(), 2).unwrap();
+    for r in &out.grid {
+        assert_eq!(
+            r.flips_1to0 + r.flips_0to1,
+            r.total_flips,
+            "direction split must partition total flips in {}/{}/{}",
+            r.data_pattern,
+            r.workload,
+            r.mitigation
+        );
+        if r.data_pattern == "solid" {
+            // All-1s data can only discharge true-cells: 1→0 exclusively.
+            assert_eq!(r.flips_0to1, 0, "solid produced 0→1 flips");
+        }
+    }
+    // The striped pattern flips in both directions somewhere in the grid.
+    let stripe_0to1: u64 = out
+        .grid
+        .iter()
+        .filter(|r| r.data_pattern == "rowstripe")
+        .map(|r| r.flips_0to1)
+        .sum();
+    assert!(stripe_0to1 > 0, "rowstripe never flipped an anti-cell row");
+}
+
+#[test]
+fn ecc_masks_flips_but_never_adds_them() {
+    let out = run_sweep(&victim_model_config(), 2).unwrap();
+    let mut some_masking = false;
+    for r in &out.grid {
+        let post = r
+            .post_ecc_flips
+            .expect("ECC enabled: every cell reports a post-ECC count");
+        assert!(
+            post <= r.total_flips,
+            "ECC added flips in {}/{}/{}",
+            r.data_pattern,
+            r.workload,
+            r.mitigation
+        );
+        if post < r.total_flips {
+            some_masking = true;
+        }
+    }
+    assert!(some_masking, "ECC never corrected anything across the grid");
 }
 
 #[test]

@@ -43,13 +43,54 @@
 //!   accesses miss on one cache line instead of four parallel vectors'
 //!   worth. See the `RowCell` doc for the layout rationale.
 //!
+//! ## Section 5 victim model
+//!
+//! Three stored-data effects from the paper's Section 5 extend the charge
+//! model, all precomputed at table-construction time so the per-activation
+//! path keeps its shape:
+//!
+//! * **Data-pattern dependence** ([`DataPattern`]): the selected pattern's
+//!   [`DataPattern::coupling_factor`] is folded into the precomputed
+//!   attenuation table (it depends only on distance parity), scaling how
+//!   hard aggressors couple into victims.
+//! * **True-/anti-cell orientation**: each row draws an orientation bit
+//!   from a dedicated RNG stream derived from the device seed (separate
+//!   from the threshold stream, so legacy thresholds are unperturbed).
+//!   Orientation decides each row's flip direction — true-cell rows fail
+//!   `1 → 0`, anti-cell rows `0 → 1` — tracked in separate tallies.
+//! * **Charged-cell budget**: pattern × orientation × row parity determine
+//!   how many of a row's cells are charged and therefore flippable
+//!   ([`DataPattern::vulnerable_cells`]); the budget is packed into the
+//!   `RowCell` metadata word so the settle path reads it from the same
+//!   cache line as the charge and threshold.
+//! * **On-die ECC** ([`crate::ecc`]): optional; never touches the dynamics,
+//!   applied as a post-run scan over per-row raw flips
+//!   ([`DeviceState::post_ecc_flips`]).
+//!
+//! With [`DataPattern::Legacy`] and ECC disabled (the defaults) every
+//! factor is exactly 1.0 and every cell vulnerable: results are
+//! byte-identical to the pre-Section-5 engine.
+//!
 //! The retained eager-zeroing reference implementation lives in
 //! [`crate::reference`]; differential tests drive both against seeded random
 //! action sequences and assert identical flips, charges, and refresh tallies.
 
+use crate::ecc;
 use crate::geometry::{Geometry, RowAddr};
-use crate::rng::SplitMix64;
+use crate::pattern::DataPattern;
+use crate::rng::{derive_seed, SplitMix64};
 use std::sync::Arc;
+
+/// Stream discriminator mixed into the device seed for per-row true-/anti-
+/// cell orientation (arbitrary constant; keeping orientation off the
+/// threshold stream is what makes the Section 5 axes a pure overlay on the
+/// legacy model).
+pub(crate) const CELL_ORIENTATION_STREAM: u64 = 0xCE11;
+
+/// High bit of [`RowCell::meta`]: set for anti-cell rows (flips are 0→1).
+pub(crate) const ANTI_CELL_BIT: u32 = 1 << 31;
+/// Low 31 bits of [`RowCell::meta`]: the row's charged (flippable) cells.
+pub(crate) const VULN_MASK: u32 = ANTI_CELL_BIT - 1;
 
 /// Parameters of the victim model.
 #[derive(Debug, Clone, Copy)]
@@ -70,18 +111,32 @@ pub struct VictimModelParams {
     /// Spread of per-row threshold jitter: row thresholds are uniform in
     /// `[hc_first, hc_first * (1 + jitter))`.
     pub threshold_jitter: f64,
+    /// Stored data pattern (Section 5.1/5.2 victim model);
+    /// [`DataPattern::Legacy`] reproduces the pattern-agnostic model.
+    pub data_pattern: DataPattern,
+    /// On-die ECC codeword size in cells; 0 disables ECC (Section 5.3).
+    pub ecc_codeword_bits: u32,
 }
 
 impl VictimModelParams {
-    /// Defaults roughly calibrated to the paper's LPDDR4-new corner.
+    /// Default number of cells per row (the LPDDR4-class 8 Kib row the
+    /// sweep always simulates). Named so config-level validation (e.g. the
+    /// ECC codeword bound in `rh-cli`) checks against the same figure
+    /// [`VictimModelParams::with_hc_first`] builds with.
+    pub const DEFAULT_CELLS_PER_ROW: u32 = 8192;
+
+    /// Defaults roughly calibrated to the paper's LPDDR4-new corner, with
+    /// the Section 5 axes off (legacy pattern, no ECC).
     pub fn with_hc_first(hc_first: u64) -> Self {
         Self {
             hc_first,
             blast_radius: 2,
             coupling_decay: 0.35,
-            cells_per_row: 8192,
+            cells_per_row: Self::DEFAULT_CELLS_PER_ROW,
             flip_slope: 0.02,
             threshold_jitter: 0.25,
+            data_pattern: DataPattern::Legacy,
+            ecc_codeword_bits: 0,
         }
     }
 }
@@ -105,6 +160,13 @@ pub trait Device {
     fn flips_per_mact(&self) -> f64;
     fn total_activations(&self) -> u64;
     fn refreshes_issued(&self) -> u64;
+    /// Flips recorded in true-cell rows (charged `1` discharged to `0`).
+    fn flips_1to0(&self) -> u64;
+    /// Flips recorded in anti-cell rows (stored `0` read back as `1`).
+    fn flips_0to1(&self) -> u64;
+    /// Flips still visible after on-die ECC correction; `None` when the
+    /// device has no ECC layer (`ecc_codeword_bits == 0`).
+    fn post_ecc_flips(&self) -> Option<u64>;
 }
 
 /// Immutable, seed-derived per-device tables, shared between every
@@ -118,31 +180,76 @@ pub trait Device {
 pub struct DeviceTables {
     geom: Geometry,
     params: VictimModelParams,
+    /// Seed the tables were derived from (also seeds the per-row ECC
+    /// placement streams, keeping post-ECC counts a pure seed function).
+    seed: u64,
     /// Per-row flip threshold (hc_first with jitter), precomputed.
     threshold: Vec<f64>,
-    /// `atten[d - 1] = coupling_decay^(d - 1)` for `d` in `1..=blast_radius`,
-    /// precomputed so the per-activation path never calls `powi`.
+    /// `atten[d - 1] = coupling_decay^(d - 1) * pattern_factor(d)` for `d`
+    /// in `1..=blast_radius`, precomputed so the per-activation path never
+    /// calls `powi` and pays nothing for data-pattern dependence (the
+    /// factor is parity-periodic, see [`DataPattern::coupling_factor`]).
     atten: Vec<f64>,
+    /// Per-row [`RowCell::meta`] word: true-/anti-cell orientation bit plus
+    /// the charged-cell budget under the selected data pattern.
+    meta: Vec<u32>,
 }
 
 impl DeviceTables {
     /// Derive the tables for a device. Fails with a clear error on a
-    /// degenerate geometry (any zero dimension).
+    /// degenerate geometry (any zero dimension) or degenerate victim-model
+    /// parameters (zero or over-wide `cells_per_row`, an ECC codeword
+    /// larger than a row).
     pub fn new(geom: Geometry, params: VictimModelParams, seed: u64) -> Result<Self, String> {
         geom.validate()?;
+        if params.cells_per_row == 0 {
+            return Err("cells_per_row must be at least 1".to_string());
+        }
+        if params.cells_per_row > VULN_MASK {
+            return Err(format!(
+                "cells_per_row {} exceeds the 2^31 - 1 row-metadata budget",
+                params.cells_per_row
+            ));
+        }
+        if params.ecc_codeword_bits > params.cells_per_row {
+            return Err(format!(
+                "ECC codeword of {} bits exceeds the {} cells in a row",
+                params.ecc_codeword_bits, params.cells_per_row
+            ));
+        }
         let n = geom.total_rows() as usize;
         let mut rng = SplitMix64::new(seed);
         let threshold = (0..n)
             .map(|_| params.hc_first as f64 * (1.0 + params.threshold_jitter * rng.next_f64()))
             .collect();
         let atten = (1..=params.blast_radius)
-            .map(|d| params.coupling_decay.powi(d as i32 - 1))
+            .map(|d| {
+                params.coupling_decay.powi(d as i32 - 1) * params.data_pattern.coupling_factor(d)
+            })
+            .collect();
+        // Orientation comes from its own seed-derived stream so enabling
+        // the Section 5 axes never perturbs the threshold stream above —
+        // and so the true-/anti-cell layout is a pure function of the
+        // device seed, independent of hc_first/pattern (tested below).
+        let mut orient_rng = SplitMix64::new(derive_seed(seed, &[CELL_ORIENTATION_STREAM]));
+        let rows_per_bank = geom.rows_per_bank;
+        let meta = (0..n)
+            .map(|i| {
+                let anti = orient_rng.next_u64() & 1 == 1;
+                let row = i as u32 % rows_per_bank;
+                let vuln = params
+                    .data_pattern
+                    .vulnerable_cells(params.cells_per_row, row, anti);
+                u32::from(anti) << 31 | vuln
+            })
             .collect();
         Ok(Self {
             geom,
             params,
+            seed,
             threshold,
             atten,
+            meta,
         })
     }
 
@@ -168,9 +275,22 @@ impl DeviceTables {
         self.threshold[self.geom.flat_index(addr)]
     }
 
-    /// Precomputed coupling attenuation at aggressor distance `d >= 1`.
+    /// Precomputed coupling attenuation at aggressor distance `d >= 1`
+    /// (distance decay × data-pattern factor).
     pub fn attenuation(&self, dist: u32) -> f64 {
         self.atten[(dist - 1) as usize]
+    }
+
+    /// Whether a row is an anti-cell row (flips read as 0→1) under this
+    /// device seed (test/diagnostic hook).
+    pub fn anti_cell_of(&self, addr: RowAddr) -> bool {
+        self.meta[self.geom.flat_index(addr)] & ANTI_CELL_BIT != 0
+    }
+
+    /// The row's charged — and therefore flippable — cell budget under the
+    /// selected data pattern (test/diagnostic hook).
+    pub fn vulnerable_cells_of(&self, addr: RowAddr) -> u32 {
+        self.meta[self.geom.flat_index(addr)] & VULN_MASK
     }
 }
 
@@ -186,6 +306,13 @@ impl DeviceTables {
 /// per-cell reset, which already streams over every slot); the per-row
 /// *activation* counter lives in a separate vector because only the
 /// aggressor row — by construction hot and cached — ever touches it.
+///
+/// The Section 5 victim model lives in what used to be the padding word:
+/// `meta` packs the row's true-/anti-cell orientation ([`ANTI_CELL_BIT`])
+/// and its charged-cell budget ([`VULN_MASK`]), copied from the shared
+/// tables at cell reset alongside the threshold — the settle path reads
+/// both from the same line it was already touching, so the slot stays
+/// exactly 32 bytes (size-asserted in tests).
 #[derive(Debug, Clone, Copy, Default)]
 #[repr(C)]
 struct RowCell {
@@ -198,11 +325,12 @@ struct RowCell {
     threshold: f64,
     /// Bit flips recorded (cumulative, monotone).
     flips: u32,
-    _pad: u32,
+    /// Orientation bit + charged-cell budget (copied from shared tables).
+    meta: u32,
 }
 
 /// Mutable state of the simulated device: per-row charge, activation
-/// counters, and recorded bit flips ([`RowCell`] per row). Immutable tables
+/// counters, and recorded bit flips (`RowCell` per row). Immutable tables
 /// are `Arc`-shared ([`DeviceTables`]); refresh is epoch-based (see the
 /// module docs).
 #[derive(Debug, Clone)]
@@ -221,19 +349,35 @@ pub struct DeviceState {
     /// Distinct rows with at least one flip, maintained incrementally on the
     /// 0→nonzero transition in the victim update (`leak_cell`).
     flipped_row_count: u64,
+    /// Cumulative flips in true-cell rows (charged 1 → 0).
+    flips_1to0: u64,
+    /// Cumulative flips in anti-cell rows (stored 0 → 1).
+    flips_0to1: u64,
+}
+
+/// Device-wide tallies one activation's victim walk accumulates, applied to
+/// the [`DeviceState`] counters after the walk (so `leak_cell` never
+/// re-borrows the device).
+#[derive(Debug, Default)]
+struct VictimTally {
+    flips: u64,
+    flips_1to0: u64,
+    flips_0to1: u64,
+    rows_flipped: u64,
 }
 
 /// One victim update: resolve the row's charge against the refresh epoch,
 /// accumulate the leaked quantum, and — the cold branch — deterministically
 /// reconcile the row's recorded flips with its charge once the threshold
-/// (resident in the same [`RowCell`] line) is crossed.
+/// (resident in the same [`RowCell`] line) is crossed. Flips scale with,
+/// and are capped by, the row's charged-cell budget (`meta`), and are
+/// attributed to the 1→0 or 0→1 tally by the row's orientation bit.
 ///
 /// Expected flips are a monotone function of charge, so recorded flips can
 /// only grow; this is what makes flip counts monotone under common-random-
 /// number mitigation comparisons. Free function over one `&mut RowCell`
-/// (with the device-wide tallies as out-params) so the activation loop can
+/// (with the device-wide tallies in `tally`) so the activation loop can
 /// drive it through zipped slice iterators without re-borrowing the device.
-#[expect(clippy::too_many_arguments)]
 #[inline(always)]
 fn leak_cell(
     cell: &mut RowCell,
@@ -241,9 +385,7 @@ fn leak_cell(
     epoch: u64,
     hc_first: u64,
     flip_slope: f64,
-    cells_per_row: u32,
-    flips_added: &mut u64,
-    rows_flipped: &mut u64,
+    tally: &mut VictimTally,
 ) {
     // Lazy epoch resolution: a stale charge reads as zero and is reset on
     // this write.
@@ -257,14 +399,25 @@ fn leak_cell(
     if c < t {
         return;
     }
+    let vuln = cell.meta & VULN_MASK;
+    if vuln == 0 {
+        // No charged cells under this pattern/orientation: nothing to flip.
+        return;
+    }
     let overshoot = (c - t) / hc_first as f64;
-    let expected = 1 + (overshoot * flip_slope * cells_per_row as f64) as u32;
-    let expected = expected.min(cells_per_row);
+    let expected = 1 + (overshoot * flip_slope * vuln as f64) as u32;
+    let expected = expected.min(vuln);
     if expected > cell.flips {
         if cell.flips == 0 {
-            *rows_flipped += 1;
+            tally.rows_flipped += 1;
         }
-        *flips_added += (expected - cell.flips) as u64;
+        let added = (expected - cell.flips) as u64;
+        tally.flips += added;
+        if cell.meta & ANTI_CELL_BIT != 0 {
+            tally.flips_0to1 += added;
+        } else {
+            tally.flips_1to0 += added;
+        }
         cell.flips = expected;
     }
 }
@@ -290,6 +443,8 @@ impl DeviceState {
             total_activations: 0,
             refreshes_issued: 0,
             flipped_row_count: 0,
+            flips_1to0: 0,
+            flips_0to1: 0,
         };
         device.reset_for_cell(tables);
         device
@@ -308,11 +463,17 @@ impl DeviceState {
         self.tables = tables;
         let n = self.tables.geom.total_rows() as usize;
         self.cells.clear();
-        self.cells
-            .extend(self.tables.threshold.iter().map(|&t| RowCell {
-                threshold: t,
-                ..RowCell::default()
-            }));
+        self.cells.extend(
+            self.tables
+                .threshold
+                .iter()
+                .zip(self.tables.meta.iter())
+                .map(|(&t, &m)| RowCell {
+                    threshold: t,
+                    meta: m,
+                    ..RowCell::default()
+                }),
+        );
         debug_assert_eq!(self.cells.len(), n);
         self.acts.clear();
         self.acts.resize(n, 0);
@@ -321,6 +482,8 @@ impl DeviceState {
         self.total_activations = 0;
         self.refreshes_issued = 0;
         self.flipped_row_count = 0;
+        self.flips_1to0 = 0;
+        self.flips_0to1 = 0;
     }
 
     /// The shared immutable tables backing this device.
@@ -342,7 +505,7 @@ impl DeviceState {
     /// Allocation-free: victims are addressed by flat-index arithmetic from
     /// the aggressor's index (same bank ⇒ contiguous rows), attenuation
     /// comes from the precomputed table, and each victim's epoch check,
-    /// charge accumulation, and settle read hit the one [`RowCell`] line.
+    /// charge accumulation, and settle read hit the one `RowCell` line.
     pub fn activate(&mut self, addr: RowAddr) {
         let idx = self.tables.geom.flat_index(addr);
         self.acts[idx] += 1;
@@ -358,43 +521,26 @@ impl DeviceState {
         let above = (self.tables.geom.rows_per_bank - 1 - row).min(radius) as usize;
         let epoch = self.epoch;
         let p = &self.tables.params;
-        let (hc_first, flip_slope, cells_per_row) = (p.hc_first, p.flip_slope, p.cells_per_row);
+        let (hc_first, flip_slope) = (p.hc_first, p.flip_slope);
         let atten = &self.tables.atten;
-        let mut flips_added = 0u64;
-        let mut rows_flipped = 0u64;
+        let mut tally = VictimTally::default();
         let window = &mut self.cells[idx - below..=idx + above];
         let (lower, rest) = window.split_at_mut(below);
         let (_aggressor, upper) = rest.split_first_mut().expect("window holds the aggressor");
         // `lower` holds the below-victims in ascending row order; reversing
         // walks them distance-major so zipping with `atten` pairs each cell
-        // with `coupling^(d-1)`. Zips clip at the shorter side (`atten` has
-        // exactly `radius` entries).
+        // with `coupling^(d-1)` (pattern-scaled). Zips clip at the shorter
+        // side (`atten` has exactly `radius` entries).
         for (cell, &quantum) in lower.iter_mut().rev().zip(atten.iter()) {
-            leak_cell(
-                cell,
-                quantum,
-                epoch,
-                hc_first,
-                flip_slope,
-                cells_per_row,
-                &mut flips_added,
-                &mut rows_flipped,
-            );
+            leak_cell(cell, quantum, epoch, hc_first, flip_slope, &mut tally);
         }
         for (cell, &quantum) in upper.iter_mut().zip(atten.iter()) {
-            leak_cell(
-                cell,
-                quantum,
-                epoch,
-                hc_first,
-                flip_slope,
-                cells_per_row,
-                &mut flips_added,
-                &mut rows_flipped,
-            );
+            leak_cell(cell, quantum, epoch, hc_first, flip_slope, &mut tally);
         }
-        self.total_flips += flips_added;
-        self.flipped_row_count += rows_flipped;
+        self.total_flips += tally.flips;
+        self.flipped_row_count += tally.rows_flipped;
+        self.flips_1to0 += tally.flips_1to0;
+        self.flips_0to1 += tally.flips_0to1;
     }
 
     /// Refresh a single row: restores its charge. Flips stay recorded.
@@ -416,9 +562,38 @@ impl DeviceState {
         self.refreshes_issued += self.tables.geom.total_rows();
     }
 
-    /// Total bit flips recorded since construction.
+    /// Total bit flips recorded since construction (pre-ECC).
     pub fn total_flips(&self) -> u64 {
         self.total_flips
+    }
+
+    /// Flips recorded in true-cell rows (charged `1` discharged to `0`).
+    /// Together with [`DeviceState::flips_0to1`] this partitions
+    /// [`DeviceState::total_flips`].
+    pub fn flips_1to0(&self) -> u64 {
+        self.flips_1to0
+    }
+
+    /// Flips recorded in anti-cell rows (stored `0` read back as `1`).
+    pub fn flips_0to1(&self) -> u64 {
+        self.flips_0to1
+    }
+
+    /// Flips still visible after on-die ECC correction, or `None` when ECC
+    /// is disabled. A post-run scan over per-row raw flip counts (see
+    /// [`crate::ecc`]) — never on the per-activation path, and a pure
+    /// function of the device seed and the raw flip state.
+    pub fn post_ecc_flips(&self) -> Option<u64> {
+        let cw = self.tables.params.ecc_codeword_bits;
+        if cw == 0 {
+            return None;
+        }
+        Some(ecc::post_ecc_total(
+            self.cells.iter().map(|c| c.flips),
+            self.tables.params.cells_per_row,
+            cw,
+            self.tables.seed,
+        ))
     }
 
     /// Number of distinct rows with at least one flipped bit (O(1) counter).
@@ -507,6 +682,18 @@ impl Device for DeviceState {
 
     fn refreshes_issued(&self) -> u64 {
         DeviceState::refreshes_issued(self)
+    }
+
+    fn flips_1to0(&self) -> u64 {
+        DeviceState::flips_1to0(self)
+    }
+
+    fn flips_0to1(&self) -> u64 {
+        DeviceState::flips_0to1(self)
+    }
+
+    fn post_ecc_flips(&self) -> Option<u64> {
+        DeviceState::post_ecc_flips(self)
     }
 }
 
@@ -745,6 +932,203 @@ mod tests {
             let b = fresh.charge_of(RowAddr::bank_row(0, row));
             assert_eq!(a.to_bits(), b.to_bits(), "charge mismatch at row {row}");
         }
+    }
+
+    /// The tentpole's layout constraint: everything a victim update touches
+    /// must keep fitting one 32-byte slot (the Section 5 metadata lives in
+    /// what used to be padding).
+    #[test]
+    fn row_cell_is_one_32_byte_slot() {
+        assert_eq!(std::mem::size_of::<RowCell>(), 32);
+    }
+
+    /// Satellite: true-/anti-cell assignment is a pure function of the
+    /// device seed — identical across rebuilds, across `HC_first` values,
+    /// and across data patterns; different seeds lay out differently.
+    #[test]
+    fn cell_orientation_is_a_pure_function_of_device_seed() {
+        let g = Geometry::tiny(256);
+        let orientations = |hc: u64, pattern: DataPattern, seed: u64| -> Vec<bool> {
+            let params = VictimModelParams {
+                data_pattern: pattern,
+                ..VictimModelParams::with_hc_first(hc)
+            };
+            let t = DeviceTables::new(g, params, seed).unwrap();
+            (0..256)
+                .map(|r| t.anti_cell_of(RowAddr::bank_row(0, r)))
+                .collect()
+        };
+        let base = orientations(1000, DataPattern::RowStripe, 42);
+        assert_eq!(base, orientations(1000, DataPattern::RowStripe, 42));
+        assert_eq!(
+            base,
+            orientations(5000, DataPattern::Solid, 42),
+            "orientation must not depend on hc_first or pattern"
+        );
+        assert_eq!(base, orientations(1000, DataPattern::Legacy, 42));
+        assert_ne!(base, orientations(1000, DataPattern::RowStripe, 43));
+        let anti = base.iter().filter(|&&a| a).count();
+        assert!(
+            (64..192).contains(&anti),
+            "orientation should mix both kinds, got {anti}/256 anti"
+        );
+    }
+
+    #[test]
+    fn orientation_stream_does_not_perturb_thresholds() {
+        let g = Geometry::tiny(64);
+        let legacy = DeviceTables::new(g, VictimModelParams::with_hc_first(1000), 7).unwrap();
+        let striped = DeviceTables::new(
+            g,
+            VictimModelParams {
+                data_pattern: DataPattern::RowStripe,
+                ..VictimModelParams::with_hc_first(1000)
+            },
+            7,
+        )
+        .unwrap();
+        assert_eq!(legacy.threshold, striped.threshold);
+    }
+
+    #[test]
+    fn pattern_scales_the_attenuation_table() {
+        let g = Geometry::tiny(64);
+        let p = VictimModelParams {
+            data_pattern: DataPattern::RowStripe,
+            ..VictimModelParams::with_hc_first(1000)
+        };
+        let t = DeviceTables::new(g, p, 0).unwrap();
+        for d in 1..=p.blast_radius {
+            assert_eq!(
+                t.attenuation(d),
+                p.coupling_decay.powi(d as i32 - 1) * p.data_pattern.coupling_factor(d)
+            );
+        }
+    }
+
+    #[test]
+    fn solid_pattern_flips_only_true_cell_rows_downward() {
+        let g = Geometry::tiny(256);
+        let p = VictimModelParams {
+            threshold_jitter: 0.0,
+            data_pattern: DataPattern::Solid,
+            ..VictimModelParams::with_hc_first(400)
+        };
+        let mut d = DeviceState::new(g, p, 11);
+        // Hammer every fourth row so victims of both orientations appear.
+        for _ in 0..2_000 {
+            for row in (2..254).step_by(4) {
+                d.activate(RowAddr::bank_row(0, row));
+            }
+        }
+        assert!(d.total_flips() > 0);
+        assert_eq!(d.flips_0to1(), 0, "solid all-1s can only discharge 1→0");
+        assert_eq!(d.flips_1to0(), d.total_flips());
+        // Every flipped row must be a true-cell row with a nonzero budget.
+        for row in 0..256 {
+            let addr = RowAddr::bank_row(0, row);
+            if d.tables().anti_cell_of(addr) {
+                assert_eq!(d.tables().vulnerable_cells_of(addr), 0);
+            } else {
+                assert_eq!(d.tables().vulnerable_cells_of(addr), p.cells_per_row);
+            }
+        }
+    }
+
+    #[test]
+    fn rowstripe_flips_in_both_directions_and_partitions_totals() {
+        let g = Geometry::tiny(256);
+        let p = VictimModelParams {
+            threshold_jitter: 0.0,
+            data_pattern: DataPattern::RowStripe,
+            ..VictimModelParams::with_hc_first(400)
+        };
+        let mut d = DeviceState::new(g, p, 11);
+        for _ in 0..2_000 {
+            for row in (2..254).step_by(4) {
+                d.activate(RowAddr::bank_row(0, row));
+            }
+        }
+        assert!(d.total_flips() > 0);
+        assert_eq!(d.flips_1to0() + d.flips_0to1(), d.total_flips());
+        assert!(d.flips_1to0() > 0, "some victims are charged true-cells");
+        assert!(d.flips_0to1() > 0, "some victims are charged anti-cells");
+    }
+
+    #[test]
+    fn legacy_direction_tallies_partition_total_flips() {
+        let g = Geometry::tiny(64);
+        let mut d = DeviceState::new(g, VictimModelParams::with_hc_first(300), 9);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..20_000 {
+            let row = if rng.chance(0.5) {
+                32
+            } else {
+                rng.gen_range(64) as u32
+            };
+            d.activate(RowAddr::bank_row(0, row));
+        }
+        assert!(d.total_flips() > 0);
+        assert_eq!(d.flips_1to0() + d.flips_0to1(), d.total_flips());
+    }
+
+    #[test]
+    fn ecc_masks_low_flip_rows_and_is_none_when_disabled() {
+        let g = Geometry::tiny(64);
+        let base = VictimModelParams {
+            threshold_jitter: 0.0,
+            ..VictimModelParams::with_hc_first(1000)
+        };
+        let mut no_ecc = DeviceState::new(g, base, 1);
+        assert_eq!(no_ecc.post_ecc_flips(), None);
+        no_ecc.activate(RowAddr::bank_row(0, 8));
+        assert_eq!(no_ecc.post_ecc_flips(), None);
+
+        let p = VictimModelParams {
+            ecc_codeword_bits: 128,
+            ..base
+        };
+        let mut d = DeviceState::new(g, p, 1);
+        let aggr = RowAddr::bank_row(0, 8);
+        // Just past threshold: each distance-1 victim holds a single flip,
+        // which a SEC code fully corrects.
+        for _ in 0..1_000 {
+            d.activate(aggr);
+        }
+        assert!(d.total_flips() > 0);
+        assert_eq!(d.post_ecc_flips(), Some(0), "single-bit flips are masked");
+        // Hammer far past threshold: multi-bit flips per codeword leak out.
+        for _ in 0..5_000 {
+            d.activate(aggr);
+        }
+        let post = d.post_ecc_flips().expect("ECC enabled");
+        assert!(post > 0, "multi-bit flips must pass through");
+        assert!(post <= d.total_flips(), "ECC cannot add flips");
+    }
+
+    #[test]
+    fn degenerate_victim_params_are_rejected_with_clear_errors() {
+        let g = Geometry::tiny(64);
+        let err = DeviceTables::new(
+            g,
+            VictimModelParams {
+                cells_per_row: 0,
+                ..VictimModelParams::with_hc_first(1000)
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("cells_per_row"), "got '{err}'");
+        let err = DeviceTables::new(
+            g,
+            VictimModelParams {
+                ecc_codeword_bits: 10_000,
+                ..VictimModelParams::with_hc_first(1000)
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(err.contains("ECC codeword"), "got '{err}'");
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   optimized [`DeviceState`] and the retained eager reference
 //!   ([`reference::EagerDeviceState`]) that differential tests and the
 //!   benchmark harness compare against;
+//! * [`DataPattern`] and [`ecc`] — the Section 5 victim model: stored data
+//!   patterns whose aggressor/victim relationship scales coupling,
+//!   seed-derived true-/anti-cell orientation (flip direction tracked as
+//!   separate 1→0 / 0→1 tallies), and an optional on-die ECC layer that
+//!   masks single-bit flips per codeword;
 //! * [`SplitMix64`] — a small deterministic seeded RNG so every experiment
 //!   in the workspace is exactly reproducible.
 //!
@@ -25,11 +30,14 @@
 //! generators), `rh-cli` (sweep driver, benchmark harness, JSON reporting).
 
 pub mod device;
+pub mod ecc;
 pub mod geometry;
+pub mod pattern;
 pub mod reference;
 pub mod rng;
 
 pub use device::{Device, DeviceState, DeviceTables, VictimModelParams};
 pub use geometry::{Geometry, RowAddr};
+pub use pattern::DataPattern;
 pub use reference::EagerDeviceState;
 pub use rng::{derive_seed, SplitMix64};

@@ -1,0 +1,307 @@
+//! Stored data patterns and true-/anti-cell orientation — the Section 5
+//! victim model of the ISCA 2020 paper.
+//!
+//! RowHammer disturbance is not a property of addresses alone: how likely a
+//! victim cell is to flip depends on **what the cells store**. The paper's
+//! Section 5 measures this two ways:
+//!
+//! * **Data-pattern dependence** (Section 5.1): the charge difference
+//!   between an aggressor cell and its victim drives the disturbance, so
+//!   patterns that place *opposite* data in aggressor and victim rows
+//!   (row-stripe: `0xFF` rows alternating with `0x00` rows) induce the most
+//!   flips, while *uniform* patterns (solid: every cell identical) induce
+//!   the fewest — across all three DRAM generations tested.
+//! * **True- vs anti-cells** (Section 5.2): a DRAM cell encodes logical
+//!   `1` either as a charged capacitor (*true-cell*) or as a discharged one
+//!   (*anti-cell*), and real devices mix both orientations region by
+//!   region. RowHammer discharges capacitors, so true-cells fail `1 → 0`
+//!   and anti-cells fail `0 → 1` — and a cell can only fail at all while it
+//!   is *charged*, which couples orientation to the stored pattern.
+//!
+//! This module is the declarative half of that model: [`DataPattern`] names
+//! the initialization patterns the sweep can select, and its methods answer
+//! the two questions the device model needs per row:
+//!
+//! 1. [`DataPattern::coupling_factor`] — how strongly does an aggressor at
+//!    distance `d` couple into a victim, relative to the legacy
+//!    (pattern-agnostic) model? This is a pure function of the distance's
+//!    parity, because every pattern here is row-periodic with period ≤ 2,
+//!    so it folds into the precomputed attenuation table
+//!    (`DeviceTables`) at construction — zero per-activation cost.
+//! 2. [`DataPattern::vulnerable_cells`] — how many of a row's cells are
+//!    charged (and therefore flippable), given the row's stored data and
+//!    its true-/anti-cell orientation? This is precomputed per row into the
+//!    `RowCell` metadata word, so the flip-settling path reads it from the
+//!    same cache line as the charge and threshold.
+//!
+//! The per-row orientation itself is drawn in `DeviceTables` from a
+//! dedicated RNG stream derived from the device seed (never from the
+//! threshold stream, so enabling the victim model does not perturb legacy
+//! thresholds), making the true-/anti-cell layout a pure function of the
+//! device seed — asserted by tests.
+//!
+//! [`DataPattern::Legacy`] is the pre-Section-5 model: factor 1.0 at every
+//! distance and every cell vulnerable. Sweeps that do not opt into the new
+//! axes run byte-identically to the previous engine.
+
+use std::str::FromStr;
+
+/// Relative coupling strength when aggressor and victim cells store
+/// *opposite* data (the worst case the paper's row-stripe pattern
+/// constructs): the aggressor wordline swing works against the victim's
+/// stored charge.
+const OPPOSITE_DATA_FACTOR: f64 = 1.25;
+
+/// Relative coupling strength when aggressor and victim cells store the
+/// *same* data (the solid pattern everywhere): part of the disturbance is
+/// neutralized, so the victim tolerates more hammers.
+const SAME_DATA_FACTOR: f64 = 0.75;
+
+/// Relative coupling strength when the aggressor/victim data relationship
+/// alternates cell by cell along the row (the checkerboard pattern at odd
+/// distances): a victim cell sees its directly adjacent (opposite-data)
+/// neighbor partially cancelled by the in-phase diagonal cells, landing
+/// between the solid and row-stripe extremes — which is where the paper's
+/// Section 5.1 places the checkered pattern.
+const MIXED_DATA_FACTOR: f64 = 1.0;
+
+/// The stored data pattern a sweep initializes every row with.
+///
+/// Patterns are row-periodic with period ≤ 2, described by the value each
+/// *row* stores (per the paper's test methodology, the attacker writes the
+/// pattern across the whole hammered region before hammering):
+///
+/// | pattern        | row content                           | worst case for |
+/// |----------------|---------------------------------------|----------------|
+/// | `Legacy`       | (pattern-agnostic pre-Section-5 model)| —              |
+/// | `Solid`        | every cell `1`                        | fewest flips   |
+/// | `Checkerboard` | bits alternate within and across rows | intermediate   |
+/// | `RowStripe`    | all-`1` rows alternate with all-`0`   | most flips     |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataPattern {
+    /// The pre-Section-5 model: unit coupling factor, every cell
+    /// vulnerable. Selecting only this pattern reproduces the previous
+    /// engine bit for bit.
+    Legacy,
+    /// Every cell stores `1`: aggressors and victims always agree, so
+    /// coupling is weakest, and only rows whose cells are charged when
+    /// storing `1` (true-cell rows) can flip.
+    Solid,
+    /// Classic checkerboard: bits alternate along the row and the phase
+    /// flips every row. Half of every row's cells are charged regardless
+    /// of orientation, and the within-row alternation leaves odd-distance
+    /// coupling between the solid and row-stripe extremes.
+    Checkerboard,
+    /// All-`1` rows alternating with all-`0` rows: odd-distance neighbors
+    /// store opposite data (strongest coupling), and a row is either fully
+    /// charged or fully discharged depending on its parity and orientation.
+    RowStripe,
+}
+
+impl DataPattern {
+    /// Every selectable pattern, in canonical (CLI listing) order.
+    pub const ALL: [DataPattern; 4] = [
+        DataPattern::Legacy,
+        DataPattern::Solid,
+        DataPattern::Checkerboard,
+        DataPattern::RowStripe,
+    ];
+
+    /// Stable identifier used in CLI flags and result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Legacy => "legacy",
+            Self::Solid => "solid",
+            Self::Checkerboard => "checkerboard",
+            Self::RowStripe => "rowstripe",
+        }
+    }
+
+    /// Multiplier applied to the legacy coupling strength for a victim at
+    /// aggressor distance `d ≥ 1`.
+    ///
+    /// A pure function of the distance's parity (every pattern is
+    /// row-periodic with period ≤ 2), so `DeviceTables` folds it into the
+    /// precomputed attenuation table and the per-activation path pays
+    /// nothing for it.
+    pub fn coupling_factor(self, distance: u32) -> f64 {
+        match self {
+            Self::Legacy => 1.0,
+            // Aggressor and victim rows store identical data everywhere.
+            Self::Solid => SAME_DATA_FACTOR,
+            // Anti-phase rows at odd distance, in-phase at even — but the
+            // within-row alternation partially cancels the odd-distance
+            // opposition (see MIXED_DATA_FACTOR).
+            Self::Checkerboard => {
+                if distance % 2 == 1 {
+                    MIXED_DATA_FACTOR
+                } else {
+                    SAME_DATA_FACTOR
+                }
+            }
+            // Whole rows oppose at odd distance: the paper's worst case.
+            Self::RowStripe => {
+                if distance % 2 == 1 {
+                    OPPOSITE_DATA_FACTOR
+                } else {
+                    SAME_DATA_FACTOR
+                }
+            }
+        }
+    }
+
+    /// Number of a row's `cells_per_row` cells that are *charged* — and
+    /// therefore flippable — given the row's in-bank index and its
+    /// true-/anti-cell orientation (`anti_cell`).
+    ///
+    /// A true-cell is charged when it stores `1`; an anti-cell when it
+    /// stores `0`. RowHammer can only discharge a charged cell, so this is
+    /// the row's flippable-cell budget, and every flip in the row moves in
+    /// one direction: `1 → 0` for true-cell rows, `0 → 1` for anti-cell
+    /// rows.
+    pub fn vulnerable_cells(self, cells_per_row: u32, row: u32, anti_cell: bool) -> u32 {
+        match self {
+            Self::Legacy => cells_per_row,
+            // All cells store `1`: charged iff the row is true-cell.
+            Self::Solid => {
+                if anti_cell {
+                    0
+                } else {
+                    cells_per_row
+                }
+            }
+            // Half the cells store `1`, half `0` — half are charged under
+            // either orientation.
+            Self::Checkerboard => cells_per_row / 2,
+            // Even rows store all `1`, odd rows all `0`: the row is fully
+            // charged exactly when its stored value matches what its
+            // orientation keeps charged.
+            Self::RowStripe => {
+                let stores_ones = row.is_multiple_of(2);
+                if stores_ones != anti_cell {
+                    cells_per_row
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for DataPattern {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "legacy" => Ok(Self::Legacy),
+            "solid" => Ok(Self::Solid),
+            "checkerboard" => Ok(Self::Checkerboard),
+            "rowstripe" => Ok(Self::RowStripe),
+            other => Err(format!(
+                "unknown data pattern '{other}' (expected one of: legacy, solid, \
+                 checkerboard, rowstripe)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for p in DataPattern::ALL {
+            assert_eq!(p.name().parse::<DataPattern>().unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+
+    #[test]
+    fn unknown_pattern_is_rejected_with_the_valid_list() {
+        let err = "rowstripes".parse::<DataPattern>().unwrap_err();
+        assert!(err.contains("unknown data pattern 'rowstripes'"), "{err}");
+        assert!(
+            err.contains("legacy") && err.contains("checkerboard"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn legacy_is_the_identity_model() {
+        for d in 1..=6 {
+            assert_eq!(DataPattern::Legacy.coupling_factor(d), 1.0);
+        }
+        for row in 0..4 {
+            for anti in [false, true] {
+                assert_eq!(DataPattern::Legacy.vulnerable_cells(8192, row, anti), 8192);
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_orders_patterns_as_in_section_5() {
+        assert_eq!(
+            DataPattern::RowStripe.coupling_factor(1),
+            OPPOSITE_DATA_FACTOR
+        );
+        assert_eq!(DataPattern::RowStripe.coupling_factor(2), SAME_DATA_FACTOR);
+        assert_eq!(
+            DataPattern::RowStripe.coupling_factor(3),
+            OPPOSITE_DATA_FACTOR
+        );
+        assert_eq!(
+            DataPattern::Checkerboard.coupling_factor(1),
+            MIXED_DATA_FACTOR
+        );
+        assert_eq!(
+            DataPattern::Checkerboard.coupling_factor(2),
+            SAME_DATA_FACTOR
+        );
+        assert_eq!(DataPattern::Solid.coupling_factor(1), SAME_DATA_FACTOR);
+        assert_eq!(DataPattern::Solid.coupling_factor(2), SAME_DATA_FACTOR);
+        // Distance-1 coupling strictly orders solid < checkerboard <
+        // rowstripe — the Section 5.1 pattern ordering.
+        assert!(
+            DataPattern::Solid.coupling_factor(1) < DataPattern::Checkerboard.coupling_factor(1)
+        );
+        assert!(
+            DataPattern::Checkerboard.coupling_factor(1)
+                < DataPattern::RowStripe.coupling_factor(1)
+        );
+    }
+
+    #[test]
+    fn solid_charges_only_true_cell_rows() {
+        assert_eq!(DataPattern::Solid.vulnerable_cells(100, 7, false), 100);
+        assert_eq!(DataPattern::Solid.vulnerable_cells(100, 7, true), 0);
+    }
+
+    #[test]
+    fn checkerboard_charges_half_of_every_row() {
+        for row in 0..4 {
+            for anti in [false, true] {
+                assert_eq!(
+                    DataPattern::Checkerboard.vulnerable_cells(100, row, anti),
+                    50
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rowstripe_charge_depends_on_parity_and_orientation() {
+        // Even rows store 1s: charged for true-cells only.
+        assert_eq!(DataPattern::RowStripe.vulnerable_cells(100, 0, false), 100);
+        assert_eq!(DataPattern::RowStripe.vulnerable_cells(100, 0, true), 0);
+        // Odd rows store 0s: charged for anti-cells only.
+        assert_eq!(DataPattern::RowStripe.vulnerable_cells(100, 1, false), 0);
+        assert_eq!(DataPattern::RowStripe.vulnerable_cells(100, 1, true), 100);
+    }
+}

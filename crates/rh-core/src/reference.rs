@@ -16,10 +16,18 @@
 //!   before/after throughput comparison runs the real experiment loop over
 //!   this device, so the reported speedup measures exactly the hot-path
 //!   changes and the equivalence check re-runs on every benchmark.
+//!
+//! The Section 5 victim model (data patterns, true-/anti-cells, on-die
+//! ECC) is implemented here in the same eager, straight-line style —
+//! per-victim `powi` times the pattern factor, per-row orientation/budget
+//! vectors consulted at settle time — so the differential tests extend to
+//! the new axes: both devices must agree on the 1→0 / 0→1 split and the
+//! post-ECC counts too.
 
-use crate::device::{Device, VictimModelParams};
+use crate::device::{Device, VictimModelParams, CELL_ORIENTATION_STREAM};
+use crate::ecc;
 use crate::geometry::{Geometry, RowAddr};
-use crate::rng::SplitMix64;
+use crate::rng::{derive_seed, SplitMix64};
 
 /// Pre-optimization device model: eager refresh, per-construction threshold
 /// derivation, per-activation `powi`, full-scan flip-row counting.
@@ -27,13 +35,20 @@ use crate::rng::SplitMix64;
 pub struct EagerDeviceState {
     geom: Geometry,
     params: VictimModelParams,
+    seed: u64,
     charge: Vec<f64>,
     threshold: Vec<f64>,
     acts: Vec<u64>,
     flips: Vec<u32>,
+    /// Per-row true-/anti-cell orientation (true = anti-cell, flips 0→1).
+    anti: Vec<bool>,
+    /// Per-row charged-cell budget under the selected data pattern.
+    vuln: Vec<u32>,
     total_flips: u64,
     total_activations: u64,
     refreshes_issued: u64,
+    flips_1to0: u64,
+    flips_0to1: u64,
 }
 
 impl EagerDeviceState {
@@ -47,16 +62,36 @@ impl EagerDeviceState {
         let threshold = (0..n)
             .map(|_| params.hc_first as f64 * (1.0 + params.threshold_jitter * rng.next_f64()))
             .collect();
+        // Same orientation stream as the optimized tables: the layout is a
+        // pure function of the device seed, so both implementations agree.
+        let mut orient_rng = SplitMix64::new(derive_seed(seed, &[CELL_ORIENTATION_STREAM]));
+        let anti: Vec<bool> = (0..n).map(|_| orient_rng.next_u64() & 1 == 1).collect();
+        let vuln = anti
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                params.data_pattern.vulnerable_cells(
+                    params.cells_per_row,
+                    i as u32 % geom.rows_per_bank,
+                    a,
+                )
+            })
+            .collect();
         Self {
             geom,
             params,
+            seed,
             charge: vec![0.0; n],
             threshold,
             acts: vec![0; n],
             flips: vec![0; n],
+            anti,
+            vuln,
             total_flips: 0,
             total_activations: 0,
             refreshes_issued: 0,
+            flips_1to0: 0,
+            flips_0to1: 0,
         }
     }
 
@@ -71,12 +106,21 @@ impl EagerDeviceState {
         if c < t {
             return;
         }
+        let vuln = self.vuln[idx];
+        if vuln == 0 {
+            return;
+        }
         let overshoot = (c - t) / self.params.hc_first as f64;
-        let expected =
-            1 + (overshoot * self.params.flip_slope * self.params.cells_per_row as f64) as u32;
-        let expected = expected.min(self.params.cells_per_row);
+        let expected = 1 + (overshoot * self.params.flip_slope * vuln as f64) as u32;
+        let expected = expected.min(vuln);
         if expected > self.flips[idx] {
-            self.total_flips += (expected - self.flips[idx]) as u64;
+            let added = (expected - self.flips[idx]) as u64;
+            self.total_flips += added;
+            if self.anti[idx] {
+                self.flips_0to1 += added;
+            } else {
+                self.flips_1to0 += added;
+            }
             self.flips[idx] = expected;
         }
     }
@@ -97,7 +141,8 @@ impl Device for EagerDeviceState {
         self.total_activations += 1;
         for (victim, dist) in addr.neighbors(&self.geom, self.params.blast_radius) {
             let vi = self.geom.flat_index(victim);
-            self.charge[vi] += self.params.coupling_decay.powi(dist as i32 - 1);
+            self.charge[vi] += self.params.coupling_decay.powi(dist as i32 - 1)
+                * self.params.data_pattern.coupling_factor(dist);
             self.settle_flips(vi);
         }
     }
@@ -138,6 +183,29 @@ impl Device for EagerDeviceState {
 
     fn refreshes_issued(&self) -> u64 {
         self.refreshes_issued
+    }
+
+    fn flips_1to0(&self) -> u64 {
+        self.flips_1to0
+    }
+
+    fn flips_0to1(&self) -> u64 {
+        self.flips_0to1
+    }
+
+    /// Same post-run scan as the optimized device ([`crate::ecc`]): ECC is
+    /// an observation filter, not a dynamic, so both paths share the spec.
+    fn post_ecc_flips(&self) -> Option<u64> {
+        let cw = self.params.ecc_codeword_bits;
+        if cw == 0 {
+            return None;
+        }
+        Some(ecc::post_ecc_total(
+            self.flips.iter().copied(),
+            self.params.cells_per_row,
+            cw,
+            self.seed,
+        ))
     }
 }
 
@@ -184,6 +252,9 @@ mod tests {
         assert_eq!(fast.flipped_rows(), eager.flipped_rows());
         assert_eq!(fast.total_activations(), eager.total_activations());
         assert_eq!(fast.refreshes_issued(), eager.refreshes_issued());
+        assert_eq!(fast.flips_1to0(), eager.flips_1to0());
+        assert_eq!(fast.flips_0to1(), eager.flips_0to1());
+        assert_eq!(fast.post_ecc_flips(), eager.post_ecc_flips());
         assert!(fast.total_flips() > 0, "sequence must exercise flips");
         for row in 0..geom.rows_per_bank {
             let addr = RowAddr::bank_row(0, row);
@@ -213,5 +284,21 @@ mod tests {
             ..VictimModelParams::with_hc_first(600)
         };
         differential_run(geom, params, 99, 3);
+    }
+
+    /// Section 5 axes: both implementations must agree on pattern-scaled
+    /// coupling, the 1→0 / 0→1 split, and post-ECC counts.
+    #[test]
+    fn differential_holds_for_every_data_pattern_with_ecc() {
+        use crate::pattern::DataPattern;
+        let geom = Geometry::tiny(128);
+        for (i, pattern) in DataPattern::ALL.into_iter().enumerate() {
+            let params = VictimModelParams {
+                data_pattern: pattern,
+                ecc_codeword_bits: 128,
+                ..VictimModelParams::with_hc_first(400)
+            };
+            differential_run(geom, params, 0xC0FFEE + i as u64, 1 + i as u64);
+        }
     }
 }
