@@ -28,18 +28,21 @@
 //! doubles as the benchmark's determinism/equivalence check (and as a
 //! differential test of the flat counter tables against their map-based
 //! references at full scale — and, since PR 5, of the Section 5 victim
-//! model against the eager reference), and the run fails (non-zero exit)
-//! if it regresses. Each cell is timed `--repeat` times per path and the
-//! minimum is reported, so one scheduling hiccup cannot skew a cell. The
-//! report (`BENCH_5.json`) records the toolchain (`rustc --version`) and git
-//! revision alongside per-cell times, a per-mitigation breakdown, and
-//! aggregate activations/sec for both paths.
+//! model against the eager reference; since PR 6 the optimized path also
+//! exercises the SoA settle kernels and the engine's activation-run
+//! coalescer), and the run fails (non-zero exit) if it regresses. Each
+//! cell is timed `--repeat` times per path and the minimum is reported, so
+//! one scheduling hiccup cannot skew a cell. The report (`BENCH_6.json`)
+//! records the toolchain (`rustc --version`), git revision, and the settle
+//! kernel that ran (`--kernel`, resolved against the CPU and
+//! `RH_FORCE_SCALAR`) alongside per-cell times, a per-mitigation
+//! breakdown, and aggregate activations/sec for both paths.
 
 use crate::engine::RunResult;
 use crate::exec::{build_table_cache, cell_params, Worker};
 use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
 use crate::sweep::SweepConfig;
-use rh_core::{DataPattern, Device, EagerDeviceState, Geometry};
+use rh_core::{DataPattern, Device, EagerDeviceState, Geometry, Kernel, KernelChoice};
 use rh_mitigations::{reference::build_reference, ActionBuf, Mitigation, MitigationAction};
 use rh_workloads::Workload;
 use std::fmt::Write as _;
@@ -55,21 +58,26 @@ pub struct BenchOptions {
     pub out_path: String,
     /// Timing runs per cell per path; the minimum is reported.
     pub repeat: usize,
-    /// Only run cells whose `workload/mitigation` label contains this.
+    /// Only run cells whose `pattern/workload/mitigation` label contains
+    /// this.
     pub filter: Option<String>,
     /// Fail the run if aggregate optimized throughput lands below this
     /// (the CI perf guard hook; `None` disables).
     pub min_acts_per_sec: Option<f64>,
+    /// Settle-kernel request for the optimized path (`--kernel`); resolved
+    /// once per run and recorded in the report.
+    pub kernel: KernelChoice,
 }
 
 impl Default for BenchOptions {
     fn default() -> Self {
         Self {
             quick: false,
-            out_path: "BENCH_5.json".to_string(),
+            out_path: "BENCH_6.json".to_string(),
             repeat: 3,
             filter: None,
             min_acts_per_sec: None,
+            kernel: KernelChoice::default(),
         }
     }
 }
@@ -149,6 +157,10 @@ pub struct BenchReport {
     pub rustc_version: String,
     /// `git rev-parse --short HEAD` ("unknown" outside a checkout).
     pub git_revision: String,
+    /// Settle kernel the optimized path actually ran (the `--kernel`
+    /// request after resolution against the CPU and `RH_FORCE_SCALAR`) —
+    /// recorded so throughput numbers are comparable across runs.
+    pub kernel: Kernel,
     pub cells: Vec<CellTiming>,
     pub breakdown: Vec<MitigationBreakdown>,
     pub legacy_secs: f64,
@@ -316,7 +328,8 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
         ));
     }
     let tables = build_table_cache(&plan, &plan.grid);
-    let mut worker = Worker::new();
+    let kernel = opts.kernel.resolve()?;
+    let mut worker = Worker::with_kernel(kernel);
 
     // Warm up both paths on the first cell (page-faults the big vectors in)
     // so the timed loop measures steady-state throughput.
@@ -410,6 +423,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
         filter: opts.filter.clone(),
         rustc_version: tool_version("rustc", &["--version"]),
         git_revision: tool_version("git", &["rev-parse", "--short", "HEAD"]),
+        kernel,
         cells: timings,
         breakdown,
         legacy_secs,
@@ -449,7 +463,7 @@ fn jstr(s: &str) -> String {
     out
 }
 
-/// Render the report as a JSON document (the `BENCH_4.json` artifact).
+/// Render the report as a JSON document (the `BENCH_6.json` artifact).
 pub fn render(report: &BenchReport) -> String {
     let mut rows = String::new();
     for (i, c) in report.cells.iter().enumerate() {
@@ -495,6 +509,7 @@ pub fn render(report: &BenchReport) -> String {
          \"filter\": {},\n  \
          \"rustc\": {},\n  \
          \"git_revision\": {},\n  \
+         \"kernel\": {},\n  \
          \"geometry\": {{\"channels\": {}, \"ranks\": {}, \"banks\": {}, \"rows_per_bank\": {}}},\n  \
          \"activations_per_cell\": {},\n  \
          \"cells\": [\n{rows}  ],\n  \
@@ -510,6 +525,7 @@ pub fn render(report: &BenchReport) -> String {
             .map_or("null".to_string(), jstr),
         jstr(&report.rustc_version),
         jstr(&report.git_revision),
+        jstr(report.kernel.name()),
         g.channels,
         g.ranks,
         g.banks,
@@ -547,7 +563,7 @@ mod tests {
         cfg.geometry = Geometry::tiny(1024);
         let plan = SweepPlan::from_config(&cfg).unwrap();
         let tables = build_table_cache(&plan, &plan.grid);
-        let mut worker = Worker::new();
+        let mut worker = Worker::with_kernel(Kernel::auto());
         for cell in &plan.grid {
             let legacy = run_cell_legacy(&plan, cell);
             let optimized = worker.run_cell(&plan, cell, &tables);
@@ -612,6 +628,7 @@ mod tests {
             filter: Some("trr".to_string()),
             rustc_version: "rustc 1.0 \"quoted\"".to_string(),
             git_revision: "abc1234".to_string(),
+            kernel: Kernel::Scalar,
             cells: vec![CellTiming {
                 workload: "w".into(),
                 mitigation: "m(k=1)".into(),
@@ -641,6 +658,7 @@ mod tests {
         assert!(s.contains("\"repeat\": 3"));
         assert!(s.contains("\"filter\": \"trr\""));
         assert!(s.contains("\"rustc\": \"rustc 1.0 \\\"quoted\\\"\""));
+        assert!(s.contains("\"kernel\": \"scalar\""));
         assert!(s.contains("\"mitigation_breakdown\""));
         assert!(s.contains("\"hc_first\": 128"));
         assert!(s.contains("\"data_pattern\": \"rowstripe\""));

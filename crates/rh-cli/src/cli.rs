@@ -6,7 +6,7 @@
 
 use crate::bench::BenchOptions;
 use crate::sweep::SweepConfig;
-use rh_core::DataPattern;
+use rh_core::{DataPattern, KernelChoice};
 
 pub const USAGE: &str = "\
 rh-cli — RowHammer mitigation sweep (Kim et al., ISCA 2020 reproduction)
@@ -14,7 +14,7 @@ rh-cli — RowHammer mitigation sweep (Kim et al., ISCA 2020 reproduction)
 USAGE:
     rh-cli sweep [OPTIONS]
     rh-cli bench [--quick] [--out <PATH>] [--repeat <N>] [--filter <SUBSTR>]
-                 [--min-acts-per-sec <RATE>]
+                 [--min-acts-per-sec <RATE>] [--kernel <K>]
 
 SWEEP OPTIONS:
     --seed <N>              RNG seed for device + mitigations (default 0xC0FFEE)
@@ -34,11 +34,15 @@ SWEEP OPTIONS:
                             0 disables (default 32000)
     --threads <N>           worker threads for cell execution; output is
                             byte-identical for any value (default: all cores)
+    --kernel <K>            victim-settle kernel: auto, scalar, avx2
+                            (default auto; output is byte-identical for any
+                            kernel — the RH_FORCE_SCALAR env var overrides
+                            every choice, for CI fallback coverage)
     -h, --help              print this help
 
 BENCH OPTIONS:
     --quick                 shrink the reference sweep for CI smoke runs
-    --out <PATH>            report path (default BENCH_5.json)
+    --out <PATH>            report path (default BENCH_6.json)
     --repeat <N>            timing runs per cell per path, min reported
                             (default 3)
     --filter <SUBSTR>       only run cells whose pattern/workload/mitigation
@@ -46,6 +50,9 @@ BENCH OPTIONS:
                             the Section 5 slice, 'graphene' one mitigation)
     --min-acts-per-sec <R>  exit non-zero if aggregate optimized throughput
                             falls below R (CI perf guard)
+    --kernel <K>            settle kernel for the optimized path: auto,
+                            scalar, avx2 (default auto; recorded in the
+                            report so runs are comparable)
 
 bench times the pinned reference sweep under the optimized hot path (flat
 counter tables, batched engine, epoch-based refresh) and the retained
@@ -60,6 +67,9 @@ with before/after throughput plus a per-mitigation breakdown.
 pub struct CliArgs {
     pub config: SweepConfig,
     pub threads: usize,
+    /// Settle-kernel request; like `threads`, it can never influence
+    /// results, so it stays out of the config.
+    pub kernel: KernelChoice,
 }
 
 /// Outcome of parsing the arguments after `sweep`.
@@ -99,6 +109,10 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchInvocation, String> {
                 }
             }
             "--filter" => opts.filter = Some(value(&mut i, "--filter")?),
+            "--kernel" => {
+                let v = value(&mut i, "--kernel")?;
+                opts.kernel = v.parse()?;
+            }
             "--min-acts-per-sec" => {
                 let v = value(&mut i, "--min-acts-per-sec")?;
                 let rate: f64 = v
@@ -153,6 +167,7 @@ pub fn parse_u64_maybe_hex(s: &str) -> Option<u64> {
 pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut cfg = SweepConfig::default();
     let mut threads = default_threads();
+    let mut kernel = KernelChoice::default();
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -223,6 +238,10 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                     return Err("--threads must be at least 1".to_string());
                 }
             }
+            "--kernel" => {
+                let v = value(&mut i, "--kernel")?;
+                kernel = v.parse()?;
+            }
             "-h" | "--help" => return Ok(Invocation::Help),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -232,6 +251,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     Ok(Invocation::Sweep(CliArgs {
         config: cfg,
         threads,
+        kernel,
     }))
 }
 
@@ -262,6 +282,21 @@ mod tests {
         assert_eq!(a.config.ecc_codeword_bits, 0);
         assert!(!a.config.extended_victim_model());
         assert!(a.threads >= 1);
+        assert_eq!(a.kernel, KernelChoice::Auto);
+    }
+
+    #[test]
+    fn kernel_flag_parses_and_rejects() {
+        for (flag, want) in [
+            ("auto", KernelChoice::Auto),
+            ("scalar", KernelChoice::Scalar),
+            ("avx2", KernelChoice::Avx2),
+        ] {
+            assert_eq!(parse(&["--kernel", flag]).unwrap().kernel, want);
+        }
+        let err = parse(&["--kernel", "sse2"]).unwrap_err();
+        assert!(err.contains("unknown kernel 'sse2'"), "got '{err}'");
+        assert!(parse(&["--kernel"]).is_err());
     }
 
     #[test]
@@ -406,10 +441,11 @@ mod tests {
         match parse_bench_args(&[]).unwrap() {
             BenchInvocation::Bench(o) => {
                 assert!(!o.quick);
-                assert_eq!(o.out_path, "BENCH_5.json");
+                assert_eq!(o.out_path, "BENCH_6.json");
                 assert_eq!(o.repeat, 3);
                 assert_eq!(o.filter, None);
                 assert_eq!(o.min_acts_per_sec, None);
+                assert_eq!(o.kernel, KernelChoice::Auto);
             }
             BenchInvocation::Help => panic!("unexpected help"),
         }
@@ -423,6 +459,8 @@ mod tests {
             "graphene",
             "--min-acts-per-sec",
             "1000000",
+            "--kernel",
+            "scalar",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -434,6 +472,7 @@ mod tests {
                 assert_eq!(o.repeat, 5);
                 assert_eq!(o.filter.as_deref(), Some("graphene"));
                 assert_eq!(o.min_acts_per_sec, Some(1_000_000.0));
+                assert_eq!(o.kernel, KernelChoice::Scalar);
             }
             BenchInvocation::Help => panic!("unexpected help"),
         }
@@ -446,6 +485,8 @@ mod tests {
             &["--min-acts-per-sec", "-5"],
             &["--min-acts-per-sec", "NaN"],
             &["--min-acts-per-sec", "nope"],
+            &["--kernel", "sse2"],
+            &["--kernel"],
         ] {
             let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
             assert!(

@@ -24,10 +24,57 @@
 //! step-at-a-time loop (which the benchmark harness retains as its legacy
 //! path).
 //!
+//! On top of batching, the inner loop **coalesces activation runs**: it
+//! keeps a small group of pending `(address, count)` runs and applies each
+//! as one [`Device::activate_repeat`] call, which walks the blast window
+//! once with register-resident per-victim partial sums and settles once.
+//! A repeat of a pending address extends its run; a *new* address may open
+//! another run only if the device vouches — [`Device::runs_commute`] —
+//! that its window either misses every pending window or meets it only on
+//! lanes drawing *equal* quanta from both (then every shared lane's charge
+//! is a sum of equal addends, which any interleaving evaluates to the same
+//! bits). Under the default radius-2 model that covers exactly the
+//! double-/many-sided attack geometry (aggressors 2 rows apart), so the
+//! classic alternating patterns coalesce as thoroughly as single-sided
+//! repeats. This is exact, not approximate: nothing else touches the
+//! device while runs pend, `activate_repeat` performs the identical
+//! per-lane fp additions in the identical order, and recorded flips are a
+//! monotone function of each lane's (monotone nondecreasing) charge — so
+//! settling at flush time records what per-activation settling would have
+//! (see the `rh-core` kernel docs). The mitigation still observes every
+//! activation individually, so sampling mitigations (PARA) consume their
+//! RNG stream and tracker tables count activations exactly as in the
+//! step-at-a-time loop; any emitted action — and every tREFW boundary —
+//! flushes the pending group before the refresh lands.
+//!
+//! Two details keep the group bookkeeping off the critical path:
+//!
+//! * **Hot-run prediction, then one branchless scan.** Attack patterns
+//!   cycle their aggressors in order, so the run extended by an
+//!   activation is almost always the previously extended one or its
+//!   successor — checked with two compares before any scan. On a miss,
+//!   membership ("is this address already a pending run?") and proximity
+//!   ("could it fail to commute with one?") are answered together by a
+//!   single pass over packed two-word address keys kept parallel to the
+//!   run list, using the device's [`Device::conflict_radius`] structure
+//!   hint. The exact (and slower) pairwise [`Device::runs_commute`] check
+//!   only runs for the rare address that lands within the conflict radius
+//!   of a pending run.
+//! * **Full-group bypass.** When the group is at capacity and a commuting
+//!   newcomer arrives (scattered benign traffic, typically), it is applied
+//!   immediately as a single activation instead of flushing the group:
+//!   commuting with every pending run makes the early application
+//!   bit-exact (it is a length-1 run applied eagerly; shared lanes draw
+//!   equal quanta, and its early settle is completed by the flush-time
+//!   settle of whichever pending run shares the lane). Long-lived
+//!   aggressor runs therefore keep coalescing to the chunk end instead of
+//!   being flushed and re-walked every time scattered traffic overflows
+//!   the group.
+//!
 //! The loop is allocation-free: the caller supplies the device (built once
 //! per worker thread and reset per cell) and an [`EngineScratch`] whose
-//! action sink and chunk buffer reach steady-state capacity within the
-//! first chunk and are reused for the rest of the run.
+//! buffers reach steady-state capacity within the first chunk and are
+//! reused for the rest of the run.
 
 use rh_core::{Device, RowAddr};
 use rh_mitigations::{ActionBuf, Mitigation, MitigationAction};
@@ -39,8 +86,8 @@ use rh_workloads::Workload;
 pub const BATCH: usize = 1024;
 
 /// Reusable per-run buffers for the engine hot loop: the mitigation action
-/// sink and the workload chunk buffer. One instance per worker thread,
-/// reused across every cell the worker executes.
+/// sink, the workload chunk buffer, and the pending-run group. One instance
+/// per worker thread, reused across every cell the worker executes.
 #[derive(Debug, Default)]
 pub struct EngineScratch {
     /// Sink the mitigation writes refresh actions into (cleared per
@@ -49,6 +96,68 @@ pub struct EngineScratch {
     /// Chunk of upcoming activations (refilled per [`BATCH`], capacity
     /// retained).
     batch: Vec<RowAddr>,
+    /// Pending coalesced activation runs, in first-seen order (capacity
+    /// retained; bounded by [`RUN_GROUP_CAP`]).
+    runs: Vec<(RowAddr, u64)>,
+    /// Packed address keys parallel to `runs`, so the per-activation
+    /// membership/proximity scan compares two words per entry instead of
+    /// chasing struct fields.
+    keys: Vec<(u64, u64)>,
+}
+
+/// Maximum simultaneously pending runs. Large enough for the widest
+/// many-sided pattern in the sweep (8 aggressors) plus a first wave of
+/// interleaved benign rows; small enough that the per-activation scan stays
+/// a handful of compares. Overflow does not flush: commuting newcomers
+/// bypass the group as immediate single activations.
+const RUN_GROUP_CAP: usize = 16;
+
+/// Pack an address into the two-word key the group scan compares: channel
+/// and rank in the first word, bank and row in the second (row in the low
+/// half, so same-bank row distance is one masked subtraction).
+#[inline]
+fn pack_key(a: RowAddr) -> (u64, u64) {
+    (
+        ((a.channel as u64) << 32) | a.rank as u64,
+        ((a.bank as u64) << 32) | a.row as u64,
+    )
+}
+
+/// One pass over the pending-run keys answering both questions the
+/// coalescer asks about an incoming address: the index of its existing run
+/// (`usize::MAX` when absent) and whether it lands within `radius` rows of
+/// any same-bank pending run — the only geometry in which it could fail to
+/// commute, per the [`Device::conflict_radius`] contract. Written without
+/// early exits so the compiler keeps the whole scan branch-free.
+#[inline]
+fn scan_runs(keys: &[(u64, u64)], key: (u64, u64), radius: u64) -> (usize, bool) {
+    let mut found = usize::MAX;
+    let mut near = false;
+    for (j, &(k0, k1)) in keys.iter().enumerate() {
+        if (k0, k1) == key {
+            found = j;
+        }
+        let same_bank = k0 == key.0 && (k1 >> 32) == (key.1 >> 32);
+        let dist = (k1 & u64::from(u32::MAX)).abs_diff(key.1 & u64::from(u32::MAX));
+        near |= same_bank && dist <= radius;
+    }
+    (found, near)
+}
+
+/// Apply every pending run to the device, in first-seen order (any order
+/// is bit-identical — that's the group invariant — but first-seen is
+/// deterministic and cache-friendly).
+#[inline]
+fn flush_runs<D: Device + ?Sized>(
+    runs: &mut Vec<(RowAddr, u64)>,
+    keys: &mut Vec<(u64, u64)>,
+    device: &mut D,
+) {
+    for &(addr, n) in runs.iter() {
+        device.activate_repeat(addr, n);
+    }
+    runs.clear();
+    keys.clear();
 }
 
 impl EngineScratch {
@@ -90,9 +199,10 @@ pub struct RunResult {
 /// device's tables/seed and the workload/mitigation construction seeds,
 /// which is the basis for common-random-number comparisons across
 /// mitigations and for byte-identical sharded sweeps. Chunking never
-/// crosses a tREFW boundary, so results are identical for any chunk size —
-/// including the unbatched step-at-a-time loop the benchmark harness
-/// retains as its legacy path.
+/// crosses a tREFW boundary, and run coalescing is exact (see the module
+/// docs), so results are identical for any chunk size — including the
+/// unbatched step-at-a-time loop the benchmark harness retains as its
+/// legacy path.
 pub fn run_experiment<D, W, M>(
     device: &mut D,
     workload: &mut W,
@@ -107,7 +217,24 @@ where
     M: Mitigation + ?Sized,
 {
     let geom = *device.geometry();
-    let EngineScratch { actions, batch } = scratch;
+    let EngineScratch {
+        actions,
+        batch,
+        runs,
+        keys,
+    } = scratch;
+    runs.clear();
+    keys.clear();
+    // Structure hint for the proximity prefilter, resolved once per run:
+    // `Some(r)` lets the scan rule out conflicts by bank and row distance;
+    // `None` (no structure) falls back to the exact pairwise check whenever
+    // any other address is pending.
+    let conflict_radius = device.conflict_radius();
+    // Index of the run extended by the previous activation. Attack
+    // patterns cycle their aggressors in order, so the next activation
+    // almost always extends run `hot` (single-sided) or `hot + 1`
+    // (double-/many-sided cycling) — two compares instead of a group scan.
+    let mut hot = 0usize;
     let mut remaining = activations;
     let mut until_refresh = if auto_refresh_interval > 0 {
         auto_refresh_interval
@@ -120,7 +247,64 @@ where
         for &addr in batch.iter() {
             actions.clear();
             mitigation.on_activate(addr, &geom, actions);
-            device.activate(addr);
+            let key = pack_key(addr);
+            // Hot-run prediction, then the group scan on a miss. `near` is
+            // irrelevant when a run is found (membership short-circuits the
+            // commute question), so the prediction hit reports `true`
+            // harmlessly.
+            let (found, near) = if keys.get(hot) == Some(&key) {
+                (hot, true)
+            } else {
+                let next = if hot + 1 < keys.len() { hot + 1 } else { 0 };
+                if keys.get(next) == Some(&key) {
+                    (next, true)
+                } else {
+                    match conflict_radius {
+                        Some(r) => scan_runs(keys, key, u64::from(r)),
+                        None => {
+                            let found = runs
+                                .iter()
+                                .position(|run| run.0 == addr)
+                                .unwrap_or(usize::MAX);
+                            (found, !runs.is_empty())
+                        }
+                    }
+                }
+            };
+            if actions.is_empty() {
+                if found != usize::MAX {
+                    runs[found].1 += 1;
+                    hot = found;
+                } else if !near || runs.iter().all(|run| device.runs_commute(run.0, addr)) {
+                    if runs.len() < RUN_GROUP_CAP {
+                        hot = runs.len();
+                        runs.push((addr, 1));
+                        keys.push(key);
+                    } else {
+                        // Full-group bypass (see the module docs): a
+                        // commuting one-off is applied eagerly instead of
+                        // flushing the long-lived runs.
+                        device.activate(addr);
+                    }
+                } else {
+                    flush_runs(runs, keys, device);
+                    runs.push((addr, 1));
+                    keys.push(key);
+                    hot = 0;
+                }
+                continue;
+            }
+            // The mitigation acted: the pending group (folding this
+            // activation into its run when the address is already a member)
+            // must hit the device before the refresh actions do.
+            if found != usize::MAX {
+                runs[found].1 += 1;
+                flush_runs(runs, keys, device);
+            } else {
+                flush_runs(runs, keys, device);
+                device.activate(addr);
+            }
+            hot = 0;
             for action in actions.actions() {
                 match *action {
                     MitigationAction::RefreshRow(row) => device.refresh_row(row),
@@ -128,6 +312,8 @@ where
                 }
             }
         }
+        // Flush the tail group before the chunk's tREFW boundary fires.
+        flush_runs(runs, keys, device);
         remaining -= n;
         if auto_refresh_interval > 0 {
             until_refresh -= n;
@@ -247,5 +433,120 @@ mod tests {
         assert_eq!(a.flipped_rows, b.flipped_rows);
         assert_eq!(a.refreshes_issued, b.refreshes_issued);
         assert!(a.total_flips > 0);
+    }
+
+    /// A mitigation that refreshes one victim of every `k`-th activation —
+    /// built to break coalesced runs mid-stream, so the flush ordering
+    /// (pending run before the action's refresh) is what's under test.
+    struct EveryKth {
+        k: u64,
+        seen: u64,
+    }
+
+    impl Mitigation for EveryKth {
+        fn name(&self) -> String {
+            format!("every-{}th", self.k)
+        }
+
+        fn on_activate(&mut self, addr: RowAddr, geom: &Geometry, out: &mut ActionBuf) {
+            self.seen += 1;
+            if self.seen.is_multiple_of(self.k) && addr.row + 1 < geom.rows_per_bank {
+                out.refresh_row(RowAddr {
+                    row: addr.row + 1,
+                    ..addr
+                });
+            }
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    /// The coalescer must be invisible: with a mitigation firing actions at
+    /// arbitrary points inside same-address runs, the engine must match the
+    /// definitional step-at-a-time loop on every observable. The eager
+    /// reference keeps the default one-at-a-time `activate_repeat`, so
+    /// driving it through the same engine exercises exactly that
+    /// comparison; `k` sweeps runs broken at different offsets.
+    #[test]
+    fn coalesced_runs_broken_by_mitigation_actions_match_stepwise_loop() {
+        let geom = Geometry::tiny(64);
+        let params = VictimModelParams::with_hc_first(300);
+        for k in [1u64, 2, 3, 7, 64, 1000] {
+            let mut fast = DeviceState::new(geom, params, 1);
+            let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
+            let a = run_experiment(
+                &mut fast,
+                &mut w,
+                &mut EveryKth { k, seen: 0 },
+                20_000,
+                7_777,
+                &mut EngineScratch::new(),
+            );
+            let mut eager = EagerDeviceState::new(geom, params, 1);
+            let mut w = SingleSided::new(RowAddr::bank_row(0, 32));
+            let b = run_experiment(
+                &mut eager,
+                &mut w,
+                &mut EveryKth { k, seen: 0 },
+                20_000,
+                7_777,
+                &mut EngineScratch::new(),
+            );
+            assert_eq!(a.total_flips, b.total_flips, "k={k}");
+            assert_eq!(a.flipped_rows, b.flipped_rows, "k={k}");
+            assert_eq!(a.refreshes_issued, b.refreshes_issued, "k={k}");
+            assert_eq!(a.flips_1to0, b.flips_1to0, "k={k}");
+            assert_eq!(a.flips_0to1, b.flips_0to1, "k={k}");
+            if k > 3 {
+                assert!(a.total_flips > 0, "k={k} must exercise flips");
+            }
+        }
+    }
+
+    /// The full-group bypass and the packed-key scan must also be
+    /// invisible when the traffic mixes wide aggressor sets with scattered
+    /// benign rows — the geometry that exercises overflow, proximity
+    /// conflicts, and eager application together.
+    #[test]
+    fn mixed_benign_traffic_matches_eager_reference() {
+        use rh_workloads::WorkloadSpec;
+        let geom = Geometry {
+            channels: 1,
+            ranks: 1,
+            banks: 2,
+            rows_per_bank: 256,
+        };
+        let params = VictimModelParams::with_hc_first(400);
+        for spec in [
+            WorkloadSpec::SingleSided,
+            WorkloadSpec::DoubleSided,
+            WorkloadSpec::ManySided { sides: 8 },
+        ] {
+            let mut w = spec.build(&geom, 0.25, 0xBE7C4).unwrap();
+            let mut fast = DeviceState::new(geom, params, 1);
+            let a = run_experiment(
+                &mut fast,
+                &mut w,
+                &mut NoMitigation,
+                50_000,
+                7_777,
+                &mut EngineScratch::new(),
+            );
+            let mut w = spec.build(&geom, 0.25, 0xBE7C4).unwrap();
+            let mut eager = EagerDeviceState::new(geom, params, 1);
+            let b = run_experiment(
+                &mut eager,
+                &mut w,
+                &mut NoMitigation,
+                50_000,
+                7_777,
+                &mut EngineScratch::new(),
+            );
+            assert_eq!(a.total_flips, b.total_flips, "{}", a.workload);
+            assert_eq!(a.flipped_rows, b.flipped_rows, "{}", a.workload);
+            assert_eq!(a.flips_1to0, b.flips_1to0, "{}", a.workload);
+            assert_eq!(a.flips_0to1, b.flips_0to1, "{}", a.workload);
+            assert!(a.total_flips > 0, "{} must exercise flips", a.workload);
+        }
     }
 }

@@ -2,12 +2,17 @@
 //! results back into plan order.
 //!
 //! Cells are embarrassingly parallel — each one materializes its own
-//! workload and mitigation from plain specs and seeds — so the executor is
-//! a work-stealing loop over an atomic cursor: dependency-free, and immune
-//! to scheduling order because every result is written to its cell's slot
-//! and the merged vector is returned in plan order. `--threads 1` and
-//! `--threads N` therefore produce identical results, which the integration
-//! tests and the CI determinism job assert byte-for-byte on the JSON.
+//! workload and mitigation from plain specs and seeds — so the executor
+//! deals cells round-robin into per-thread shards up front: each shard
+//! carries exclusive `&mut` references to its cells' result slots, so
+//! every slot is written exactly once by exactly one thread with no lock
+//! and no post-join unwrapping hazard (the type system rules out both
+//! double-writes and cross-thread contention). Results land in plan order
+//! regardless of scheduling, so `--threads 1` and `--threads N` produce
+//! identical results, which the integration tests and the CI determinism
+//! job assert byte-for-byte on the JSON. Round-robin (not contiguous
+//! chunks) because the plan's grid cycles mitigations fastest: dealing
+//! spreads the expensive mitigation families evenly across threads.
 //!
 //! Hot-path amortization across cells:
 //!
@@ -24,10 +29,9 @@
 
 use crate::engine::{run_experiment, EngineScratch, RunResult};
 use crate::plan::{CellSpec, SweepPlan, BLAST_RADIUS};
-use rh_core::{DataPattern, DeviceState, DeviceTables, VictimModelParams};
+use rh_core::{DataPattern, DeviceState, DeviceTables, Kernel, VictimModelParams};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Shared immutable tables per distinct `(hc_first, data_pattern,
 /// device_seed)` device — the data pattern is part of the table identity
@@ -76,13 +80,18 @@ pub(crate) fn build_table_cache(plan: &SweepPlan, cells: &[CellSpec]) -> TableCa
 pub(crate) struct Worker {
     device: Option<DeviceState>,
     scratch: EngineScratch,
+    /// Settle kernel every device this worker builds runs under.
+    kernel: Kernel,
 }
 
 impl Worker {
-    pub(crate) fn new() -> Self {
+    /// A worker pinned to `kernel` (the `--kernel` flag, resolved once per
+    /// invocation).
+    pub(crate) fn with_kernel(kernel: Kernel) -> Self {
         Self {
             device: None,
             scratch: EngineScratch::new(),
+            kernel,
         }
     }
 
@@ -102,7 +111,10 @@ impl Worker {
                 device.reset_for_cell(cell_tables);
                 device
             }
-            None => self.device.insert(DeviceState::with_tables(cell_tables)),
+            None => self.device.insert(DeviceState::with_tables_and_kernel(
+                cell_tables,
+                self.kernel,
+            )),
         };
         let mut workload = cell
             .workload
@@ -134,38 +146,51 @@ impl Worker {
 /// Execute `cells` on up to `threads` workers; results come back merged in
 /// cell order regardless of which worker ran what.
 pub fn execute_cells(plan: &SweepPlan, cells: &[CellSpec], threads: usize) -> Vec<RunResult> {
+    execute_cells_with_kernel(plan, cells, threads, Kernel::auto())
+}
+
+/// [`execute_cells`] with the settle kernel pinned (the `--kernel` flag,
+/// resolved by the caller). The kernel can never affect results — only
+/// throughput — so every kernel produces the identical result vector.
+pub fn execute_cells_with_kernel(
+    plan: &SweepPlan,
+    cells: &[CellSpec],
+    threads: usize,
+    kernel: Kernel,
+) -> Vec<RunResult> {
     let threads = threads.max(1).min(cells.len().max(1));
     let tables = build_table_cache(plan, cells);
     if threads == 1 {
-        let mut worker = Worker::new();
+        let mut worker = Worker::with_kernel(kernel);
         return cells
             .iter()
             .map(|cell| worker.run_cell(plan, cell, &tables))
             .collect();
     }
 
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    // Write-once result slots: deal (cell, &mut slot) pairs round-robin
+    // into per-thread shards, so each thread owns exclusive mutable access
+    // to exactly the slots it will fill (see the module docs).
+    let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
+    let mut shards: Vec<Vec<(&CellSpec, &mut Option<RunResult>)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    for (i, (cell, slot)) in cells.iter().zip(results.iter_mut()).enumerate() {
+        shards[i % threads].push((cell, slot));
+    }
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut worker = Worker::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    let result = worker.run_cell(plan, cell, &tables);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+        for shard in shards {
+            let tables = &tables;
+            scope.spawn(move || {
+                let mut worker = Worker::with_kernel(kernel);
+                for (cell, slot) in shard {
+                    *slot = Some(worker.run_cell(plan, cell, tables));
                 }
             });
         }
     });
-    slots
+    results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every cell executed exactly once")
-        })
+        .map(|slot| slot.expect("every cell executed exactly once"))
         .collect()
 }
 
@@ -206,6 +231,18 @@ mod tests {
         for threads in [2, 3, 8] {
             let sharded = execute_cells(&plan, &plan.grid, threads);
             assert_eq!(flat(&serial), flat(&sharded), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pinned_kernels_produce_identical_results() {
+        let plan = tiny_plan();
+        let auto = execute_cells(&plan, &plan.grid, 2);
+        let scalar = execute_cells_with_kernel(&plan, &plan.grid, 2, Kernel::Scalar);
+        assert_eq!(flat(&auto), flat(&scalar));
+        if rh_core::avx2_available() {
+            let avx2 = execute_cells_with_kernel(&plan, &plan.grid, 2, Kernel::Avx2);
+            assert_eq!(flat(&auto), flat(&avx2));
         }
     }
 
@@ -251,7 +288,7 @@ mod tests {
         let fresh: Vec<RunResult> = plan
             .grid
             .iter()
-            .map(|cell| Worker::new().run_cell(&plan, cell, &tables))
+            .map(|cell| Worker::with_kernel(Kernel::auto()).run_cell(&plan, cell, &tables))
             .collect();
         assert_eq!(flat(&reused), flat(&fresh));
     }

@@ -15,7 +15,7 @@
 //! is the benchmark harness (`rh-cli bench`) that times the optimized hot
 //! path against the retained pre-optimization path (eager device, map-based
 //! counter mitigations, unbatched dyn dispatch) over a pinned reference
-//! sweep and emits `BENCH_5.json`.
+//! sweep and emits `BENCH_6.json`.
 
 pub mod bench;
 pub mod cli;
@@ -28,4 +28,4 @@ pub mod sweep;
 pub use bench::{run_bench, BenchOptions, BenchReport};
 pub use engine::{run_experiment, RunResult};
 pub use plan::{CellSeeds, CellSpec, SweepPlan};
-pub use sweep::{run_sweep, SweepConfig, SweepOutput};
+pub use sweep::{run_sweep, run_sweep_with_kernel, SweepConfig, SweepOutput};

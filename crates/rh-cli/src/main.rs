@@ -4,7 +4,7 @@
 //! the library so both are unit-testable. See `rh-cli --help` for options.
 
 use rh_cli::cli::{parse_args, parse_bench_args, BenchInvocation, Invocation, USAGE};
-use rh_cli::{bench, json, run_sweep};
+use rh_cli::{bench, json, run_sweep_with_kernel};
 use std::process::ExitCode;
 
 fn run_bench_command(opts: &bench::BenchOptions) -> ExitCode {
@@ -65,7 +65,8 @@ fn main() -> ExitCode {
                 print!("{USAGE}");
                 ExitCode::SUCCESS
             }
-            Ok(Invocation::Sweep(a)) => match run_sweep(&a.config, a.threads) {
+            Ok(Invocation::Sweep(a)) => match run_sweep_with_kernel(&a.config, a.threads, a.kernel)
+            {
                 Ok(out) => {
                     println!("{}", json::render(&out));
                     if out.para_monotone {

@@ -5,9 +5,9 @@
 //! is a pure function of the config (thread count never changes the bytes).
 
 use crate::engine::RunResult;
-use crate::exec::execute_cells;
+use crate::exec::execute_cells_with_kernel;
 use crate::plan::SweepPlan;
-use rh_core::{DataPattern, Geometry, VictimModelParams};
+use rh_core::{DataPattern, Geometry, KernelChoice, VictimModelParams};
 
 /// Configuration of one full sweep.
 #[derive(Debug, Clone)]
@@ -168,9 +168,22 @@ pub struct SweepOutput {
 /// Plan the full grid plus the PARA sweep, execute the cells on up to
 /// `threads` workers, and merge results in plan order.
 pub fn run_sweep(cfg: &SweepConfig, threads: usize) -> Result<SweepOutput, String> {
+    run_sweep_with_kernel(cfg, threads, KernelChoice::Auto)
+}
+
+/// [`run_sweep`] with the settle kernel pinned (`--kernel`). Like the
+/// thread count, the kernel can never change the output bytes — resolution
+/// errors (pinning AVX2 on a CPU without it) surface here, before any cell
+/// runs.
+pub fn run_sweep_with_kernel(
+    cfg: &SweepConfig,
+    threads: usize,
+    kernel: KernelChoice,
+) -> Result<SweepOutput, String> {
+    let kernel = kernel.resolve()?;
     let plan = SweepPlan::from_config(cfg)?;
-    let grid = execute_cells(&plan, &plan.grid, threads);
-    let para_sweep = execute_cells(&plan, &plan.para_sweep, threads);
+    let grid = execute_cells_with_kernel(&plan, &plan.grid, threads, kernel);
+    let para_sweep = execute_cells_with_kernel(&plan, &plan.para_sweep, threads, kernel);
     // Monotone because all PARA cells share device, workload stream, and
     // sampling RNG (common random numbers): the activations sampled at a
     // lower p are a subset of those sampled at any higher p.

@@ -23,9 +23,10 @@
 //!
 //! * **Shared tables** ([`DeviceTables`]): the immutable, seed-derived parts
 //!   of a device (per-row flip thresholds, the `coupling^(d-1)` attenuation
-//!   table) live in an `Arc` so every experiment cell simulating the same
-//!   device (common-random-number sweeps share the device seed) reuses one
-//!   O(total_rows) derivation instead of repeating it per cell.
+//!   table and its whole-window quanta template) live in an `Arc` so every
+//!   experiment cell simulating the same device (common-random-number
+//!   sweeps share the device seed) reuses one O(total_rows) derivation
+//!   instead of repeating it per cell.
 //! * **Epoch-based lazy refresh**: `refresh_all` — the per-tREFW-window
 //!   full-device refresh — bumps a global epoch counter instead of zeroing
 //!   `total_rows` charges. A row's charge is valid only if its last-write
@@ -34,14 +35,31 @@
 //!   cost of refresh-heavy configurations (increased-refresh at low
 //!   `HC_first`, exactly the regime the paper projects) into O(1).
 //! * **Incremental flip accounting**: `flipped_rows` is maintained as a
-//!   counter on the 0→nonzero transition in the victim update, replacing the
+//!   counter on the 0→nonzero transition in the settle path, replacing the
 //!   end-of-run full-device scan ([`DeviceState::flipped_rows_scan`] remains
 //!   as the diagnostic reference, asserted equivalent in tests).
-//! * **Single-line victim slots** (`RowCell`): everything a victim update
-//!   reads or writes — charge, last-write epoch, flip threshold, flip count
-//!   — is packed into one 32-byte slot, so the benign traffic's random-row
-//!   accesses miss on one cache line instead of four parallel vectors'
-//!   worth. See the `RowCell` doc for the layout rationale.
+//! * **Structure-of-arrays row state + swappable settle kernels**
+//!   ([`crate::kernel`]): per-row mutable state lives in parallel
+//!   `charge`/`epoch`/`threshold`/`flips`/`meta` slabs, so an activation's
+//!   blast window is a handful of *contiguous lanes per field* — exactly
+//!   the shape SIMD wants. The leak-accumulate-and-settle step over a
+//!   window runs through a [`Kernel`] selected once per device: an
+//!   autovectorization-friendly scalar loop or a runtime-detected AVX2
+//!   intrinsics kernel (4 × `f64` lanes, rare threshold-crossing lanes
+//!   peeled to a scalar settle tail). The aggressor's own lane is included
+//!   in the window with quantum `0.0` from the precomputed template —
+//!   observationally a no-op (adding `+0.0` to a non-negative charge and
+//!   stamping its epoch changes no observable; re-settling an unchanged
+//!   charge is idempotent) — so the kernels have no skip-the-aggressor
+//!   branch and every window is one dense lane range.
+//! * **Coalesced activation runs** ([`DeviceState::activate_repeat`]):
+//!   `n` consecutive activations of the same row with nothing in between
+//!   collapse into one window pass whose per-lane partial sum stays
+//!   register-resident across `n` adds. Bit-exact by construction: each
+//!   lane performs the identical fp additions in the identical order, and
+//!   since expected flips are a monotone function of final charge, settling
+//!   once at the final charge records exactly the flips `n` separate
+//!   settles would have.
 //!
 //! ## Section 5 victim model
 //!
@@ -60,9 +78,9 @@
 //!   `1 → 0`, anti-cell rows `0 → 1` — tracked in separate tallies.
 //! * **Charged-cell budget**: pattern × orientation × row parity determine
 //!   how many of a row's cells are charged and therefore flippable
-//!   ([`DataPattern::vulnerable_cells`]); the budget is packed into the
-//!   `RowCell` metadata word so the settle path reads it from the same
-//!   cache line as the charge and threshold.
+//!   ([`DataPattern::vulnerable_cells`]); the budget shares the per-row
+//!   `meta` word with the orientation bit, so the settle path reads both
+//!   with one load.
 //! * **On-die ECC** ([`crate::ecc`]): optional; never touches the dynamics,
 //!   applied as a post-run scan over per-row raw flips
 //!   ([`DeviceState::post_ecc_flips`]).
@@ -77,6 +95,7 @@
 
 use crate::ecc;
 use crate::geometry::{Geometry, RowAddr};
+use crate::kernel::{leak_window, Kernel, VictimTally, Window};
 use crate::pattern::DataPattern;
 use crate::rng::{derive_seed, SplitMix64};
 use std::sync::Arc;
@@ -87,9 +106,9 @@ use std::sync::Arc;
 /// legacy model).
 pub(crate) const CELL_ORIENTATION_STREAM: u64 = 0xCE11;
 
-/// High bit of [`RowCell::meta`]: set for anti-cell rows (flips are 0→1).
+/// High bit of a row's `meta` word: set for anti-cell rows (flips are 0→1).
 pub(crate) const ANTI_CELL_BIT: u32 = 1 << 31;
-/// Low 31 bits of [`RowCell::meta`]: the row's charged (flippable) cells.
+/// Low 31 bits of a row's `meta` word: the row's charged (flippable) cells.
 pub(crate) const VULN_MASK: u32 = ANTI_CELL_BIT - 1;
 
 /// Parameters of the victim model.
@@ -151,6 +170,43 @@ pub trait Device {
     fn params(&self) -> &VictimModelParams;
     /// Activate a row: account it and leak disturbance into its blast radius.
     fn activate(&mut self, addr: RowAddr);
+    /// Apply `n` consecutive activations of the same row with nothing in
+    /// between — the engine's activation-run coalescer calls this for runs
+    /// of identical aggressor addresses with no interleaved mitigation
+    /// action. The default implementation is the definitional `n` single
+    /// activations (which is what the eager reference keeps, making it the
+    /// ground truth the coalesced [`DeviceState`] override is differentially
+    /// tested against).
+    fn activate_repeat(&mut self, addr: RowAddr, n: u64) {
+        for _ in 0..n {
+            self.activate(addr);
+        }
+    }
+    /// Whether pending coalesced activation runs at `a` and `b` may be
+    /// applied in either order with bit-identical results — the engine's
+    /// license to keep both runs open while their activations interleave.
+    /// The conservative default only admits literal repeats (so the eager
+    /// reference keeps strict step-at-a-time semantics and plain same-row
+    /// coalescing keeps working); [`DeviceState`] widens it to the
+    /// precomputed table of commuting same-bank spacings and to
+    /// disjoint-window pairs (see `DeviceTables`).
+    fn runs_commute(&self, a: RowAddr, b: RowAddr) -> bool {
+        a == b
+    }
+    /// Structure hint for the engine's run-group scan: `Some(m)` promises
+    /// that [`Device::runs_commute`] holds for every pair of addresses in
+    /// different banks or farther than `m` rows apart in the same bank —
+    /// letting the engine rule out conflicts with one bank compare and one
+    /// row distance per pending run, and reserve the pairwise
+    /// `runs_commute` calls for the rare same-bank near miss. `None` (the
+    /// conservative default, kept by the eager reference whose
+    /// repeats-only `runs_commute` has no such geometry) means no
+    /// structure is promised and the engine must ask pairwise whenever
+    /// anything else is pending. [`DeviceState`] returns the largest
+    /// non-commuting spacing of its precomputed commutation table.
+    fn conflict_radius(&self) -> Option<u32> {
+        None
+    }
     /// Refresh a single row (restore its charge). Flips stay recorded.
     fn refresh_row(&mut self, addr: RowAddr);
     /// Refresh every row in the device.
@@ -185,13 +241,43 @@ pub struct DeviceTables {
     seed: u64,
     /// Per-row flip threshold (hc_first with jitter), precomputed.
     threshold: Vec<f64>,
+    /// Minimum of the `threshold` slab: the device-wide threshold floor the
+    /// kernels' accumulate pass compares against instead of loading per-lane
+    /// thresholds (see [`crate::kernel`] — a floor trip is necessary for any
+    /// real crossing, so gating the settle sweep on it is exact, and cold
+    /// windows never touch the threshold/meta/flips slabs).
+    threshold_floor: f64,
     /// `atten[d - 1] = coupling_decay^(d - 1) * pattern_factor(d)` for `d`
     /// in `1..=blast_radius`, precomputed so the per-activation path never
     /// calls `powi` and pays nothing for data-pattern dependence (the
     /// factor is parity-periodic, see [`DataPattern::coupling_factor`]).
     atten: Vec<f64>,
-    /// Per-row [`RowCell::meta`] word: true-/anti-cell orientation bit plus
-    /// the charged-cell budget under the selected data pattern.
+    /// Whole-window quanta template of length `2 * blast_radius + 1`:
+    /// `atten` mirrored around a `0.0` center lane for the aggressor, so an
+    /// activation's window is one contiguous slice of this (clipped at bank
+    /// edges) and the settle kernels never branch on "is this the
+    /// aggressor".
+    window_quanta: Vec<f64>,
+    /// `commute_spacings[s]` for same-bank row spacings `s in 0..=2r`:
+    /// whether pending activation runs of two aggressors `s` rows apart may
+    /// be applied in either order with bit-identical results. True exactly
+    /// when every lane reached by *both* windows receives the same quantum
+    /// from each (then the lane's charge is a sum of equal addends, which
+    /// any interleaving evaluates identically); spacings beyond `2r` have
+    /// disjoint windows and always commute. With the default radius 2 this
+    /// holds for spacing 2 and 4 — precisely the double-/many-sided attack
+    /// geometry — which is what lets the engine coalesce alternating
+    /// aggressors, not just literal repeats.
+    commute_spacings: Vec<bool>,
+    /// Largest same-bank spacing with `commute_spacings[s] == false` — the
+    /// device's [`Device::conflict_radius`]: any pair of runs in different
+    /// banks or farther apart than this always commutes, which is what
+    /// lets the engine's group scan skip the pairwise table lookups for
+    /// the overwhelmingly common far-apart case.
+    conflict_radius: u32,
+    /// Per-row metadata word: true-/anti-cell orientation bit
+    /// ([`ANTI_CELL_BIT`]) plus the charged-cell budget under the selected
+    /// data pattern ([`VULN_MASK`]).
     meta: Vec<u32>,
 }
 
@@ -219,14 +305,45 @@ impl DeviceTables {
         }
         let n = geom.total_rows() as usize;
         let mut rng = SplitMix64::new(seed);
-        let threshold = (0..n)
+        let threshold: Vec<f64> = (0..n)
             .map(|_| params.hc_first as f64 * (1.0 + params.threshold_jitter * rng.next_f64()))
             .collect();
-        let atten = (1..=params.blast_radius)
+        let threshold_floor = threshold.iter().copied().fold(f64::INFINITY, f64::min);
+        let atten: Vec<f64> = (1..=params.blast_radius)
             .map(|d| {
                 params.coupling_decay.powi(d as i32 - 1) * params.data_pattern.coupling_factor(d)
             })
             .collect();
+        let radius = params.blast_radius as usize;
+        let mut window_quanta = vec![0.0; 2 * radius + 1];
+        for d in 1..=radius {
+            window_quanta[radius - d] = atten[d - 1];
+            window_quanta[radius + d] = atten[d - 1];
+        }
+        let r = radius as i64;
+        let commute_spacings = (0..=2 * r)
+            .map(|s| {
+                // Lanes at offset i from aggressor A are at offset i - s
+                // from aggressor B (B sits s rows above A). The pair
+                // commutes unless some lane inside both windows draws
+                // bitwise-different quanta from the two.
+                (-r..=r).all(|i| {
+                    let (da, db) = (i.unsigned_abs(), (i - s).unsigned_abs());
+                    da == 0
+                        || db == 0
+                        || da > r as u64
+                        || db > r as u64
+                        || atten[da as usize - 1].to_bits() == atten[db as usize - 1].to_bits()
+                })
+            })
+            .collect::<Vec<bool>>();
+        let conflict_radius = commute_spacings
+            .iter()
+            .enumerate()
+            .filter(|&(_, commutes)| !commutes)
+            .map(|(s, _)| s as u32)
+            .max()
+            .unwrap_or(0);
         // Orientation comes from its own seed-derived stream so enabling
         // the Section 5 axes never perturbs the threshold stream above —
         // and so the true-/anti-cell layout is a pure function of the
@@ -248,7 +365,11 @@ impl DeviceTables {
             params,
             seed,
             threshold,
+            threshold_floor,
             atten,
+            window_quanta,
+            commute_spacings,
+            conflict_radius,
             meta,
         })
     }
@@ -294,60 +415,44 @@ impl DeviceTables {
     }
 }
 
-/// Everything a victim update reads or writes, packed into one 32-byte slot
-/// so the epoch check, charge accumulation, threshold compare, and flip
-/// settling all hit a single cache line per victim. The sweep's benign
-/// traffic lands on uniformly random rows of multi-megabyte state vectors;
-/// with charge/epoch/flips/threshold in separate vectors (the pre-PR-4
-/// layout) each such access missed on several lines, and those misses — not
-/// arithmetic — dominated the non-refresh cells. 32 bytes divides the cache
-/// line, so a slot never straddles two lines. The row's *threshold* is a
-/// per-cell copy of the shared [`DeviceTables`] value (made during the
-/// per-cell reset, which already streams over every slot); the per-row
-/// *activation* counter lives in a separate vector because only the
-/// aggressor row — by construction hot and cached — ever touches it.
+/// Mutable state of the simulated device, laid out structure-of-arrays:
+/// each per-row field is its own dense slab, so an activation's blast
+/// window is a contiguous lane range in every slab and the settle kernels
+/// ([`crate::kernel`]) stream it with SIMD loads. Immutable tables are
+/// `Arc`-shared ([`DeviceTables`]); refresh is epoch-based (see the module
+/// docs).
 ///
-/// The Section 5 victim model lives in what used to be the padding word:
-/// `meta` packs the row's true-/anti-cell orientation ([`ANTI_CELL_BIT`])
-/// and its charged-cell budget ([`VULN_MASK`]), copied from the shared
-/// tables at cell reset alongside the threshold — the settle path reads
-/// both from the same line it was already touching, so the slot stays
-/// exactly 32 bytes (size-asserted in tests).
-#[derive(Debug, Clone, Copy, Default)]
-#[repr(C)]
-struct RowCell {
-    /// Accumulated disturbance in units of distance-1 hammers. Valid only
-    /// while `epoch` matches the device epoch; stale values read as 0.
-    charge: f64,
-    /// Epoch of the last charge write (or targeted refresh).
-    epoch: u64,
-    /// Flip threshold (copied from the shared tables at cell reset).
-    threshold: f64,
-    /// Bit flips recorded (cumulative, monotone).
-    flips: u32,
-    /// Orientation bit + charged-cell budget (copied from shared tables).
-    meta: u32,
-}
-
-/// Mutable state of the simulated device: per-row charge, activation
-/// counters, and recorded bit flips (`RowCell` per row). Immutable tables
-/// are `Arc`-shared ([`DeviceTables`]); refresh is epoch-based (see the
-/// module docs).
+/// The `threshold` and `meta` slabs are per-cell copies of the shared
+/// tables, made during the per-cell reset (which already streams over every
+/// row to zero the mutable slabs) — keeping the kernels reading from the
+/// device's own contiguous memory rather than chasing the `Arc`.
 #[derive(Debug, Clone)]
 pub struct DeviceState {
     tables: Arc<DeviceTables>,
-    /// Per-row mutable state; see [`RowCell`].
-    cells: Vec<RowCell>,
+    /// Accumulated disturbance per row, in units of distance-1 hammers.
+    /// Valid only while the row's `epochs` entry matches the device epoch;
+    /// stale values read as 0.
+    charge: Vec<f64>,
+    /// Per-row epoch of the last charge write (or targeted refresh).
+    epochs: Vec<u64>,
+    /// Per-row flip threshold (copied from the shared tables at cell reset).
+    threshold: Vec<f64>,
+    /// Per-row recorded bit flips (cumulative, monotone).
+    flips: Vec<u32>,
+    /// Per-row orientation bit + charged-cell budget (copied from tables).
+    meta: Vec<u32>,
     /// Activations per row since construction/reset (aggressor-side
-    /// accounting only; victim updates never touch it — see [`RowCell`]).
+    /// accounting only; victim updates never touch it).
     acts: Vec<u64>,
+    /// Settle kernel, selected once at construction (see [`Kernel`]).
+    kernel: Kernel,
     /// Global refresh epoch; bumped O(1) by `refresh_all`.
     epoch: u64,
     total_flips: u64,
     total_activations: u64,
     refreshes_issued: u64,
     /// Distinct rows with at least one flip, maintained incrementally on the
-    /// 0→nonzero transition in the victim update (`leak_cell`).
+    /// 0→nonzero transition in the settle path.
     flipped_row_count: u64,
     /// Cumulative flips in true-cell rows (charged 1 → 0).
     flips_1to0: u64,
@@ -355,89 +460,35 @@ pub struct DeviceState {
     flips_0to1: u64,
 }
 
-/// Device-wide tallies one activation's victim walk accumulates, applied to
-/// the [`DeviceState`] counters after the walk (so `leak_cell` never
-/// re-borrows the device).
-#[derive(Debug, Default)]
-struct VictimTally {
-    flips: u64,
-    flips_1to0: u64,
-    flips_0to1: u64,
-    rows_flipped: u64,
-}
-
-/// One victim update: resolve the row's charge against the refresh epoch,
-/// accumulate the leaked quantum, and — the cold branch — deterministically
-/// reconcile the row's recorded flips with its charge once the threshold
-/// (resident in the same [`RowCell`] line) is crossed. Flips scale with,
-/// and are capped by, the row's charged-cell budget (`meta`), and are
-/// attributed to the 1→0 or 0→1 tally by the row's orientation bit.
-///
-/// Expected flips are a monotone function of charge, so recorded flips can
-/// only grow; this is what makes flip counts monotone under common-random-
-/// number mitigation comparisons. Free function over one `&mut RowCell`
-/// (with the device-wide tallies in `tally`) so the activation loop can
-/// drive it through zipped slice iterators without re-borrowing the device.
-#[inline(always)]
-fn leak_cell(
-    cell: &mut RowCell,
-    quantum: f64,
-    epoch: u64,
-    hc_first: u64,
-    flip_slope: f64,
-    tally: &mut VictimTally,
-) {
-    // Lazy epoch resolution: a stale charge reads as zero and is reset on
-    // this write.
-    if cell.epoch != epoch {
-        cell.epoch = epoch;
-        cell.charge = 0.0;
-    }
-    cell.charge += quantum;
-    let c = cell.charge;
-    let t = cell.threshold;
-    if c < t {
-        return;
-    }
-    let vuln = cell.meta & VULN_MASK;
-    if vuln == 0 {
-        // No charged cells under this pattern/orientation: nothing to flip.
-        return;
-    }
-    let overshoot = (c - t) / hc_first as f64;
-    let expected = 1 + (overshoot * flip_slope * vuln as f64) as u32;
-    let expected = expected.min(vuln);
-    if expected > cell.flips {
-        if cell.flips == 0 {
-            tally.rows_flipped += 1;
-        }
-        let added = (expected - cell.flips) as u64;
-        tally.flips += added;
-        if cell.meta & ANTI_CELL_BIT != 0 {
-            tally.flips_0to1 += added;
-        } else {
-            tally.flips_1to0 += added;
-        }
-        cell.flips = expected;
-    }
-}
-
 impl DeviceState {
-    /// Build a device with freshly derived tables. Panics on a degenerate
-    /// geometry; use [`Geometry::validate`] / [`DeviceTables::new`] first on
-    /// untrusted input.
+    /// Build a device with freshly derived tables and the auto-selected
+    /// kernel. Panics on a degenerate geometry; use [`Geometry::validate`] /
+    /// [`DeviceTables::new`] first on untrusted input.
     pub fn new(geom: Geometry, params: VictimModelParams, seed: u64) -> Self {
         let tables = DeviceTables::shared(geom, params, seed)
             .unwrap_or_else(|e| panic!("invalid device geometry: {e}"));
         Self::with_tables(tables)
     }
 
-    /// Build a device around pre-derived shared tables.
+    /// Build a device around pre-derived shared tables, with the
+    /// auto-selected kernel ([`Kernel::auto`]).
     pub fn with_tables(tables: Arc<DeviceTables>) -> Self {
+        Self::with_tables_and_kernel(tables, Kernel::auto())
+    }
+
+    /// Build a device around pre-derived shared tables with a pinned settle
+    /// kernel. The kernel can never affect results (differential fuzz tests
+    /// assert it), only throughput.
+    pub fn with_tables_and_kernel(tables: Arc<DeviceTables>, kernel: Kernel) -> Self {
         let mut device = Self {
             tables: tables.clone(),
-            cells: Vec::new(),
+            charge: Vec::new(),
+            epochs: Vec::new(),
+            threshold: Vec::new(),
+            flips: Vec::new(),
+            meta: Vec::new(),
             acts: Vec::new(),
+            kernel,
             epoch: 0,
             total_flips: 0,
             total_activations: 0,
@@ -451,30 +502,27 @@ impl DeviceState {
     }
 
     /// Reuse this device's buffers for a new experiment cell: swap in the
-    /// cell's tables and reset every row slot in one streaming pass (the
+    /// cell's tables and reset every slab in one streaming pass (the
     /// per-row flip counters have to be zeroed for the new cell anyway, so
-    /// the charge/epoch words and the threshold copy from the shared tables
-    /// ride along in the same write; no reallocation unless the geometry
-    /// grew). Equivalent to `DeviceState::with_tables` minus the
-    /// allocations — executor threads call this once per cell. Note this is
-    /// a per-*cell* O(total_rows) cost; the per-*tREFW-window* `refresh_all`
-    /// inside a run stays the O(1) epoch bump.
+    /// the charge/epoch slabs and the threshold/meta copies from the shared
+    /// tables ride along; no reallocation unless the geometry grew).
+    /// Equivalent to `DeviceState::with_tables` minus the allocations —
+    /// executor threads call this once per cell. Note this is a per-*cell*
+    /// O(total_rows) cost; the per-*tREFW-window* `refresh_all` inside a
+    /// run stays the O(1) epoch bump. The selected kernel is retained.
     pub fn reset_for_cell(&mut self, tables: Arc<DeviceTables>) {
         self.tables = tables;
         let n = self.tables.geom.total_rows() as usize;
-        self.cells.clear();
-        self.cells.extend(
-            self.tables
-                .threshold
-                .iter()
-                .zip(self.tables.meta.iter())
-                .map(|(&t, &m)| RowCell {
-                    threshold: t,
-                    meta: m,
-                    ..RowCell::default()
-                }),
-        );
-        debug_assert_eq!(self.cells.len(), n);
+        self.charge.clear();
+        self.charge.resize(n, 0.0);
+        self.epochs.clear();
+        self.epochs.resize(n, 0);
+        self.threshold.clear();
+        self.threshold.extend_from_slice(&self.tables.threshold);
+        self.flips.clear();
+        self.flips.resize(n, 0);
+        self.meta.clear();
+        self.meta.extend_from_slice(&self.tables.meta);
         self.acts.clear();
         self.acts.resize(n, 0);
         self.epoch = 0;
@@ -491,6 +539,18 @@ impl DeviceState {
         &self.tables
     }
 
+    /// The settle kernel this device runs.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Swap the settle kernel (the benchmark harness re-times cells under
+    /// both kernels on one reused device). Takes effect on the next
+    /// activation; results are kernel-independent by construction.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
+
     pub fn geometry(&self) -> &Geometry {
         &self.tables.geom
     }
@@ -501,54 +561,92 @@ impl DeviceState {
 
     /// Activate `addr`: account the activation and leak disturbance into all
     /// rows within the blast radius, recording any new bit flips.
-    ///
-    /// Allocation-free: victims are addressed by flat-index arithmetic from
-    /// the aggressor's index (same bank ⇒ contiguous rows), attenuation
-    /// comes from the precomputed table, and each victim's epoch check,
-    /// charge accumulation, and settle read hit the one `RowCell` line.
     pub fn activate(&mut self, addr: RowAddr) {
+        self.activate_repeat(addr, 1);
+    }
+
+    /// Apply `n` consecutive activations of `addr` in one window pass —
+    /// bit-identical to `n` separate [`DeviceState::activate`] calls (each
+    /// lane performs the same fp additions in the same order, and the
+    /// settle is a monotone function of the final charge), but the partial
+    /// sums stay register-resident and the window is walked once.
+    ///
+    /// Allocation-free: the window is a contiguous lane range of the SoA
+    /// slabs addressed by flat-index arithmetic (same bank ⇒ contiguous
+    /// rows), its quanta are a slice of the precomputed whole-window
+    /// template (aggressor lane 0.0), and the walk runs through the settle
+    /// kernel selected at construction.
+    pub fn activate_repeat(&mut self, addr: RowAddr, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = self.tables.geom.flat_index(addr);
-        self.acts[idx] += 1;
-        self.total_activations += 1;
+        self.acts[idx] += n;
+        self.total_activations += n;
         let row = addr.row;
         let radius = self.tables.params.blast_radius;
-        // Victims below and above the aggressor, clipped at bank edges,
-        // walked as two distance-major slice iterations zipped with the
-        // attenuation table: the quantum is the loop variable (no per-victim
-        // abs_diff), there is no skip-the-aggressor branch, and after the
-        // single window bounds check every victim access is check-free.
+        // Window bounds below and above the aggressor, clipped at bank
+        // edges (bank-contiguous flat indexing keeps the window inside the
+        // aggressor's bank).
         let below = row.min(radius) as usize;
         let above = (self.tables.geom.rows_per_bank - 1 - row).min(radius) as usize;
-        let epoch = self.epoch;
+        if below + above == 0 {
+            // Zero radius or a single-row bank: no victims to disturb.
+            return;
+        }
+        let (lo, hi) = (idx - below, idx + above);
+        let r = radius as usize;
         let p = &self.tables.params;
         let (hc_first, flip_slope) = (p.hc_first, p.flip_slope);
-        let atten = &self.tables.atten;
         let mut tally = VictimTally::default();
-        let window = &mut self.cells[idx - below..=idx + above];
-        let (lower, rest) = window.split_at_mut(below);
-        let (_aggressor, upper) = rest.split_first_mut().expect("window holds the aggressor");
-        // `lower` holds the below-victims in ascending row order; reversing
-        // walks them distance-major so zipping with `atten` pairs each cell
-        // with `coupling^(d-1)` (pattern-scaled). Zips clip at the shorter
-        // side (`atten` has exactly `radius` entries).
-        for (cell, &quantum) in lower.iter_mut().rev().zip(atten.iter()) {
-            leak_cell(cell, quantum, epoch, hc_first, flip_slope, &mut tally);
-        }
-        for (cell, &quantum) in upper.iter_mut().zip(atten.iter()) {
-            leak_cell(cell, quantum, epoch, hc_first, flip_slope, &mut tally);
-        }
+        let window = Window {
+            charge: &mut self.charge[lo..=hi],
+            epoch: &mut self.epochs[lo..=hi],
+            threshold: &self.threshold[lo..=hi],
+            flips: &mut self.flips[lo..=hi],
+            meta: &self.meta[lo..=hi],
+            quanta: &self.tables.window_quanta[r - below..=r + above],
+            floor: self.tables.threshold_floor,
+        };
+        leak_window(
+            self.kernel,
+            window,
+            n,
+            self.epoch,
+            hc_first,
+            flip_slope,
+            &mut tally,
+        );
         self.total_flips += tally.flips;
         self.flipped_row_count += tally.rows_flipped;
         self.flips_1to0 += tally.flips_1to0;
         self.flips_0to1 += tally.flips_0to1;
     }
 
+    /// Whether coalesced runs at `a` and `b` commute bit-exactly: different
+    /// banks touch disjoint slabs; same-bank pairs consult the precomputed
+    /// spacing table (spacings beyond `2r` are disjoint windows). Bank-edge
+    /// clipping only removes lanes from a window, so the unclipped table is
+    /// conservative there.
+    pub fn runs_commute(&self, a: RowAddr, b: RowAddr) -> bool {
+        if (a.channel, a.rank, a.bank) != (b.channel, b.rank, b.bank) {
+            return true;
+        }
+        let s = a.row.abs_diff(b.row) as usize;
+        self.tables.commute_spacings.get(s).copied().unwrap_or(true)
+    }
+
+    /// The largest same-bank spacing at which two runs may fail to
+    /// commute, from the precomputed table (see [`Device::conflict_radius`]).
+    pub fn conflict_radius(&self) -> u32 {
+        self.tables.conflict_radius
+    }
+
     /// Refresh a single row: restores its charge. Flips stay recorded.
     pub fn refresh_row(&mut self, addr: RowAddr) {
         let idx = self.tables.geom.flat_index(addr);
-        let cell = &mut self.cells[idx];
-        cell.charge = 0.0;
-        cell.epoch = self.epoch;
+        self.charge[idx] = 0.0;
+        self.epochs[idx] = self.epoch;
         self.refreshes_issued += 1;
     }
 
@@ -589,7 +687,7 @@ impl DeviceState {
             return None;
         }
         Some(ecc::post_ecc_total(
-            self.cells.iter().map(|c| c.flips),
+            self.flips.iter().copied(),
             self.tables.params.cells_per_row,
             cw,
             self.tables.seed,
@@ -605,7 +703,7 @@ impl DeviceState {
     /// assert it always equals the incrementally-maintained
     /// [`DeviceState::flipped_rows`] counter.
     pub fn flipped_rows_scan(&self) -> u64 {
-        self.cells.iter().filter(|c| c.flips > 0).count() as u64
+        self.flips.iter().filter(|&&f| f > 0).count() as u64
     }
 
     /// Bit flips per million activations — the sweep's headline metric.
@@ -634,9 +732,9 @@ impl DeviceState {
     /// Accumulated charge of a row (test/diagnostic hook), resolved against
     /// the refresh epoch.
     pub fn charge_of(&self, addr: RowAddr) -> f64 {
-        let cell = &self.cells[self.tables.geom.flat_index(addr)];
-        if cell.epoch == self.epoch {
-            cell.charge
+        let idx = self.tables.geom.flat_index(addr);
+        if self.epochs[idx] == self.epoch {
+            self.charge[idx]
         } else {
             0.0
         }
@@ -654,6 +752,18 @@ impl Device for DeviceState {
 
     fn activate(&mut self, addr: RowAddr) {
         DeviceState::activate(self, addr)
+    }
+
+    fn activate_repeat(&mut self, addr: RowAddr, n: u64) {
+        DeviceState::activate_repeat(self, addr, n)
+    }
+
+    fn runs_commute(&self, a: RowAddr, b: RowAddr) -> bool {
+        DeviceState::runs_commute(self, a, b)
+    }
+
+    fn conflict_radius(&self) -> Option<u32> {
+        Some(DeviceState::conflict_radius(self))
     }
 
     fn refresh_row(&mut self, addr: RowAddr) {
@@ -706,6 +816,16 @@ mod tests {
             threshold_jitter: 0.0,
             ..VictimModelParams::with_hc_first(hc)
         }
+    }
+
+    /// Every kernel the running CPU can execute, for kernel-parameterized
+    /// tests.
+    fn available_kernels() -> Vec<Kernel> {
+        let mut kernels = vec![Kernel::Scalar];
+        if crate::kernel::avx2_available() {
+            kernels.push(Kernel::Avx2);
+        }
+        kernels
     }
 
     #[test]
@@ -793,6 +913,19 @@ mod tests {
     }
 
     #[test]
+    fn aggressor_lane_receives_no_charge() {
+        // The window includes the aggressor with quantum 0.0; its charge
+        // must stay exactly zero (not -0.0, not accumulated).
+        let g = Geometry::tiny(16);
+        let mut d = DeviceState::new(g, no_jitter(1000), 1);
+        let aggr = RowAddr::bank_row(0, 8);
+        for _ in 0..500 {
+            d.activate(aggr);
+        }
+        assert_eq!(d.charge_of(aggr).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
     fn edge_rows_have_one_sided_victims() {
         let g = Geometry::tiny(16);
         let mut d = DeviceState::new(g, no_jitter(100), 1);
@@ -820,6 +953,64 @@ mod tests {
         let t = DeviceTables::new(Geometry::tiny(64), p, 0).unwrap();
         for d in 1..=p.blast_radius {
             assert_eq!(t.attenuation(d), p.coupling_decay.powi(d as i32 - 1));
+        }
+    }
+
+    /// The tentpole's window template: `atten` mirrored around a 0.0
+    /// aggressor lane, so one contiguous slice covers any clipped window.
+    #[test]
+    fn window_quanta_template_mirrors_attenuation_around_zero_center() {
+        let p = VictimModelParams::with_hc_first(1000);
+        let t = DeviceTables::new(Geometry::tiny(64), p, 0).unwrap();
+        let r = p.blast_radius as usize;
+        assert_eq!(t.window_quanta.len(), 2 * r + 1);
+        assert_eq!(t.window_quanta[r].to_bits(), 0.0f64.to_bits());
+        for d in 1..=p.blast_radius {
+            assert_eq!(t.window_quanta[r - d as usize], t.attenuation(d));
+            assert_eq!(t.window_quanta[r + d as usize], t.attenuation(d));
+        }
+    }
+
+    /// Spacing-2 and spacing-4 aggressor pairs (the double-/many-sided
+    /// attack geometry) commute under the default radius-2 model; odd
+    /// spacings inside the window do not (a shared lane draws distance-1
+    /// quanta from one aggressor and distance-2 from the other).
+    #[test]
+    fn runs_commute_matches_the_radius_two_geometry() {
+        let g = Geometry {
+            banks: 2,
+            ..Geometry::tiny(64)
+        };
+        let d = DeviceState::new(g, VictimModelParams::with_hc_first(1000), 1);
+        let at = |bank, row| RowAddr {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+        };
+        let expected = [true, false, true, false, true];
+        for (s, &want) in expected.iter().enumerate() {
+            assert_eq!(
+                d.runs_commute(at(0, 20), at(0, 20 + s as u32)),
+                want,
+                "spacing {s}"
+            );
+            assert_eq!(
+                d.runs_commute(at(0, 20 + s as u32), at(0, 20)),
+                want,
+                "spacing {s} reversed"
+            );
+        }
+        // Beyond 2r the windows are disjoint; other banks always commute.
+        assert!(d.runs_commute(at(0, 20), at(0, 25)));
+        assert!(d.runs_commute(at(0, 20), at(1, 21)));
+        // The structure hint must cover every non-commuting spacing above:
+        // at radius 2 the largest is 3.
+        assert_eq!(Device::conflict_radius(&d), Some(3));
+        for (s, &commutes) in expected.iter().enumerate() {
+            if !commutes {
+                assert!(s as u32 <= DeviceState::conflict_radius(&d));
+            }
         }
     }
 
@@ -934,12 +1125,102 @@ mod tests {
         }
     }
 
-    /// The tentpole's layout constraint: everything a victim update touches
-    /// must keep fitting one 32-byte slot (the Section 5 metadata lives in
-    /// what used to be padding).
+    /// The tentpole's coalescing exactness bar: `activate_repeat(addr, n)`
+    /// must be bit-identical to `n` separate activations — per-row charges,
+    /// flips, direction split, and counters — under every available kernel,
+    /// interleaved with targeted and full refreshes.
     #[test]
-    fn row_cell_is_one_32_byte_slot() {
-        assert_eq!(std::mem::size_of::<RowCell>(), 32);
+    fn activate_repeat_is_bit_identical_to_repeated_activates() {
+        let g = Geometry::tiny(64);
+        let p = VictimModelParams {
+            data_pattern: DataPattern::RowStripe,
+            ecc_codeword_bits: 128,
+            ..VictimModelParams::with_hc_first(300)
+        };
+        let tables = DeviceTables::shared(g, p, 21).unwrap();
+        for kernel in available_kernels() {
+            let mut coalesced = DeviceState::with_tables_and_kernel(tables.clone(), kernel);
+            let mut stepped = DeviceState::with_tables_and_kernel(tables.clone(), kernel);
+            let mut rng = SplitMix64::new(4242);
+            for _ in 0..2_000 {
+                let row = rng.gen_range(64) as u32;
+                let addr = RowAddr::bank_row(0, row);
+                let n = 1 + rng.gen_range(40);
+                coalesced.activate_repeat(addr, n);
+                for _ in 0..n {
+                    stepped.activate(addr);
+                }
+                if rng.chance(0.05) {
+                    let r = RowAddr::bank_row(0, rng.gen_range(64) as u32);
+                    coalesced.refresh_row(r);
+                    stepped.refresh_row(r);
+                }
+                if rng.chance(0.01) {
+                    coalesced.refresh_all();
+                    stepped.refresh_all();
+                }
+            }
+            assert!(coalesced.total_flips() > 0, "sequence must exercise flips");
+            assert_eq!(coalesced.total_flips(), stepped.total_flips());
+            assert_eq!(coalesced.flipped_rows(), stepped.flipped_rows());
+            assert_eq!(coalesced.total_activations(), stepped.total_activations());
+            assert_eq!(coalesced.flips_1to0(), stepped.flips_1to0());
+            assert_eq!(coalesced.flips_0to1(), stepped.flips_0to1());
+            assert_eq!(coalesced.post_ecc_flips(), stepped.post_ecc_flips());
+            for row in 0..64 {
+                let addr = RowAddr::bank_row(0, row);
+                assert_eq!(
+                    coalesced.charge_of(addr).to_bits(),
+                    stepped.charge_of(addr).to_bits(),
+                    "kernel {kernel}: charge diverged at row {row}"
+                );
+                assert_eq!(coalesced.activations_of(addr), stepped.activations_of(addr));
+            }
+        }
+    }
+
+    /// Kernel independence at the device level: a scalar-pinned and an
+    /// AVX2-pinned device driven through the same sequence agree bit for
+    /// bit (skipped where the CPU has no AVX2 — the differential fuzz suite
+    /// covers scalar vs eager there).
+    #[test]
+    fn scalar_and_avx2_kernels_agree_bit_for_bit() {
+        if !crate::kernel::avx2_available() {
+            return;
+        }
+        let g = Geometry::tiny(128);
+        let p = VictimModelParams::with_hc_first(400);
+        let tables = DeviceTables::shared(g, p, 7).unwrap();
+        let mut scalar = DeviceState::with_tables_and_kernel(tables.clone(), Kernel::Scalar);
+        let mut avx2 = DeviceState::with_tables_and_kernel(tables, Kernel::Avx2);
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..30_000 {
+            // Half the traffic hammers a hot row so thresholds are crossed
+            // between the (rare) full refreshes.
+            let row = if rng.chance(0.5) {
+                64
+            } else {
+                rng.gen_range(128) as u32
+            };
+            let addr = RowAddr::bank_row(0, row);
+            scalar.activate(addr);
+            avx2.activate(addr);
+            if rng.chance(0.0005) {
+                scalar.refresh_all();
+                avx2.refresh_all();
+            }
+        }
+        assert!(scalar.total_flips() > 0);
+        assert_eq!(scalar.total_flips(), avx2.total_flips());
+        assert_eq!(scalar.flipped_rows(), avx2.flipped_rows());
+        for row in 0..128 {
+            let addr = RowAddr::bank_row(0, row);
+            assert_eq!(
+                scalar.charge_of(addr).to_bits(),
+                avx2.charge_of(addr).to_bits(),
+                "charge diverged at row {row}"
+            );
+        }
     }
 
     /// Satellite: true-/anti-cell assignment is a pure function of the

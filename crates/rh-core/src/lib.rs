@@ -18,6 +18,11 @@
 //!   optimized [`DeviceState`] and the retained eager reference
 //!   ([`reference::EagerDeviceState`]) that differential tests and the
 //!   benchmark harness compare against;
+//! * [`Kernel`] / [`KernelChoice`] — the swappable leak-and-settle kernels
+//!   over the structure-of-arrays row state (autovectorization-friendly
+//!   scalar, runtime-detected AVX2 intrinsics), selectable via
+//!   `--kernel {auto,scalar,avx2}` and the `RH_FORCE_SCALAR` override,
+//!   never affecting results (see `kernel` module docs);
 //! * [`DataPattern`] and [`ecc`] — the Section 5 victim model: stored data
 //!   patterns whose aggressor/victim relationship scales coupling,
 //!   seed-derived true-/anti-cell orientation (flip direction tracked as
@@ -32,12 +37,14 @@
 pub mod device;
 pub mod ecc;
 pub mod geometry;
+pub mod kernel;
 pub mod pattern;
 pub mod reference;
 pub mod rng;
 
 pub use device::{Device, DeviceState, DeviceTables, VictimModelParams};
 pub use geometry::{Geometry, RowAddr};
+pub use kernel::{avx2_available, Kernel, KernelChoice};
 pub use pattern::DataPattern;
 pub use reference::EagerDeviceState;
 pub use rng::{derive_seed, SplitMix64};

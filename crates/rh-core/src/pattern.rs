@@ -31,8 +31,8 @@
 //! 2. [`DataPattern::vulnerable_cells`] — how many of a row's cells are
 //!    charged (and therefore flippable), given the row's stored data and
 //!    its true-/anti-cell orientation? This is precomputed per row into the
-//!    `RowCell` metadata word, so the flip-settling path reads it from the
-//!    same cache line as the charge and threshold.
+//!    device's `meta` slab, so the flip-settling kernels read it with one
+//!    load alongside the charge and threshold lanes.
 //!
 //! The per-row orientation itself is drawn in `DeviceTables` from a
 //! dedicated RNG stream derived from the device seed (never from the
