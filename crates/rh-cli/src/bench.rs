@@ -541,6 +541,193 @@ pub fn render(report: &BenchReport) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Saturation bench (`bench --saturation` → BENCH_7.json)
+// ---------------------------------------------------------------------------
+
+/// Options for the distributed saturation benchmark.
+#[derive(Debug, Clone)]
+pub struct SaturationOptions {
+    /// Shrink the per-cell activation budget for CI smoke runs.
+    pub quick: bool,
+    /// Where to write the JSON report.
+    pub out_path: String,
+    /// Worker-pool sizes to measure.
+    pub worker_counts: Vec<usize>,
+    /// Settle-kernel request propagated through the worker protocol.
+    pub kernel: KernelChoice,
+    /// Fail the run if the peak measured cells/sec lands below this (the
+    /// CI perf guard hook; `None` disables).
+    pub min_cells_per_sec: Option<f64>,
+    /// Worker executable; defaults to the current executable (tests point
+    /// it at the real `rh-cli` binary).
+    pub worker_program: Option<std::path::PathBuf>,
+}
+
+impl Default for SaturationOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            out_path: "BENCH_7.json".to_string(),
+            worker_counts: vec![1, 2, 4, 8],
+            kernel: KernelChoice::default(),
+            min_cells_per_sec: None,
+            worker_program: None,
+        }
+    }
+}
+
+/// One measured pool size.
+#[derive(Debug, Clone)]
+pub struct SaturationPoint {
+    pub workers: usize,
+    pub wall_secs: f64,
+    pub cells_per_sec: f64,
+    pub acts_per_sec: f64,
+    /// `worker:kernel(cells)` per worker, from the response envelope — the
+    /// satellite requirement that the merged report records each worker's
+    /// resolved kernel.
+    pub worker_kernels: Vec<String>,
+}
+
+/// Full saturation-bench outcome (`BENCH_7.json`).
+#[derive(Debug, Clone)]
+pub struct SaturationReport {
+    pub quick: bool,
+    pub rustc_version: String,
+    pub git_revision: String,
+    /// The kernel request sent in every shard lease (workers resolve it
+    /// locally; per-point resolutions are in [`SaturationPoint`]).
+    pub kernel_request: KernelChoice,
+    pub activations_per_cell: u64,
+    /// Cells per submitted job (grid + PARA sweep).
+    pub cells_per_job: u64,
+    pub points: Vec<SaturationPoint>,
+    pub peak_cells_per_sec: f64,
+    /// Every pool size produced bytes identical to the in-process sweep.
+    pub identical_bytes: bool,
+}
+
+/// The saturation workload: the **default sweep config** — the exact job a
+/// client submits with `{}` — so the measured cells/sec is the service's
+/// real per-request throughput, not a synthetic microbenchmark.
+pub fn saturation_config(quick: bool) -> SweepConfig {
+    SweepConfig {
+        activations: if quick { 40_000 } else { 200_000 },
+        ..SweepConfig::default()
+    }
+}
+
+/// Measure end-to-end service throughput (cells/sec, submit-to-envelope)
+/// at each requested worker-pool size, verifying every merged document
+/// byte-identical against the in-process sweep. Each pool size gets a
+/// fresh coordinator so the result cache can never short-circuit a
+/// measurement.
+pub fn run_saturation(opts: &SaturationOptions) -> Result<SaturationReport, String> {
+    if opts.worker_counts.is_empty() {
+        return Err("--workers requires at least one pool size".to_string());
+    }
+    if opts.worker_counts.contains(&0) {
+        return Err("--workers pool sizes must be at least 1".to_string());
+    }
+    let cfg = saturation_config(opts.quick);
+    let reference = crate::sweep::run_sweep_with_kernel(
+        &cfg,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        opts.kernel,
+    )?;
+    let reference_doc = crate::json::render(&reference);
+    let cells_per_job = (reference.grid.len() + reference.para_sweep.len()) as u64;
+
+    let mut points = Vec::with_capacity(opts.worker_counts.len());
+    let mut identical = true;
+    let mut peak = 0.0f64;
+    for &workers in &opts.worker_counts {
+        let coordinator = crate::serve::Coordinator::start(crate::serve::ServeOptions {
+            workers,
+            kernel: opts.kernel,
+            worker_program: opts.worker_program.clone(),
+            ..crate::serve::ServeOptions::default()
+        })?;
+        let t0 = Instant::now();
+        let env = coordinator.submit(None, &cfg)?;
+        let wall_secs = t0.elapsed().as_secs_f64();
+        coordinator.shutdown();
+        if env.document != reference_doc {
+            identical = false;
+            eprintln!(
+                "saturation equivalence FAILED at {workers} workers: distributed document \
+                 diverged from the in-process sweep"
+            );
+        }
+        let cells_per_sec = cells_per_job as f64 / wall_secs;
+        peak = peak.max(cells_per_sec);
+        points.push(SaturationPoint {
+            workers,
+            wall_secs,
+            cells_per_sec,
+            acts_per_sec: (cells_per_job * cfg.activations) as f64 / wall_secs,
+            worker_kernels: env
+                .workers
+                .iter()
+                .map(|w| format!("{}:{}({})", w.worker, w.kernel, w.cells))
+                .collect(),
+        });
+    }
+
+    Ok(SaturationReport {
+        quick: opts.quick,
+        rustc_version: tool_version("rustc", &["--version"]),
+        git_revision: tool_version("git", &["rev-parse", "--short", "HEAD"]),
+        kernel_request: opts.kernel,
+        activations_per_cell: cfg.activations,
+        cells_per_job,
+        points,
+        peak_cells_per_sec: peak,
+        identical_bytes: identical,
+    })
+}
+
+/// Render the saturation report (the `BENCH_7.json` artifact).
+pub fn render_saturation(report: &SaturationReport) -> String {
+    let mut rows = String::new();
+    for (i, p) in report.points.iter().enumerate() {
+        let sep = if i + 1 < report.points.len() { "," } else { "" };
+        let kernels: Vec<String> = p.worker_kernels.iter().map(|k| jstr(k)).collect();
+        let _ = writeln!(
+            rows,
+            "    {{\"workers\": {}, \"wall_secs\": {}, \"cells_per_sec\": {}, \
+             \"acts_per_sec\": {}, \"worker_kernels\": [{}]}}{sep}",
+            p.workers,
+            fnum(p.wall_secs),
+            fnum(p.cells_per_sec),
+            fnum(p.acts_per_sec),
+            kernels.join(", "),
+        );
+    }
+    format!(
+        "{{\n  \"bench\": \"distributed sweep saturation (default config via serve/worker, \
+         byte-checked against in-process sweep)\",\n  \
+         \"quick\": {},\n  \
+         \"rustc\": {},\n  \
+         \"git_revision\": {},\n  \
+         \"kernel_request\": {},\n  \
+         \"activations_per_cell\": {},\n  \
+         \"cells_per_job\": {},\n  \
+         \"points\": [\n{rows}  ],\n  \
+         \"peak_cells_per_sec\": {},\n  \
+         \"identical_bytes\": {}\n}}",
+        report.quick,
+        jstr(&report.rustc_version),
+        jstr(&report.git_revision),
+        jstr(report.kernel_request.name()),
+        report.activations_per_cell,
+        report.cells_per_job,
+        fnum(report.peak_cells_per_sec),
+        report.identical_bytes,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,5 +855,62 @@ mod tests {
     #[test]
     fn metadata_falls_back_to_unknown() {
         assert_eq!(tool_version("definitely-not-a-command-9q", &[]), "unknown");
+    }
+
+    #[test]
+    fn saturation_rejects_empty_and_zero_pool_sizes() {
+        let opts = SaturationOptions {
+            worker_counts: vec![],
+            ..SaturationOptions::default()
+        };
+        assert!(run_saturation(&opts).is_err());
+        let opts = SaturationOptions {
+            worker_counts: vec![1, 0],
+            ..SaturationOptions::default()
+        };
+        assert!(run_saturation(&opts).is_err());
+    }
+
+    #[test]
+    fn saturation_config_is_the_default_sweep_shape() {
+        let full = saturation_config(false);
+        let quick = saturation_config(true);
+        assert_eq!(full.hc_firsts, SweepConfig::default().hc_firsts);
+        assert_eq!(full.activations, 200_000);
+        assert_eq!(quick.activations, 40_000);
+        // Quick and full are the same *grid* — only the per-cell budget
+        // shrinks, so scaling curves stay comparable.
+        let full_plan = SweepPlan::from_config(&full).unwrap();
+        let quick_plan = SweepPlan::from_config(&quick).unwrap();
+        assert_eq!(full_plan.grid.len(), quick_plan.grid.len());
+    }
+
+    #[test]
+    fn saturation_report_renders_valid_shape() {
+        let report = SaturationReport {
+            quick: true,
+            rustc_version: "rustc 1.0".into(),
+            git_revision: "abc".into(),
+            kernel_request: KernelChoice::Scalar,
+            activations_per_cell: 40_000,
+            cells_per_job: 124,
+            points: vec![SaturationPoint {
+                workers: 2,
+                wall_secs: 0.5,
+                cells_per_sec: 248.0,
+                acts_per_sec: 9_920_000.0,
+                worker_kernels: vec!["local-0:scalar(70)".into(), "local-1:scalar(54)".into()],
+            }],
+            peak_cells_per_sec: 248.0,
+            identical_bytes: true,
+        };
+        let s = render_saturation(&report);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"workers\": 2"));
+        assert!(s.contains("\"cells_per_sec\": 248.000"));
+        assert!(s.contains("\"kernel_request\": \"scalar\""));
+        assert!(s.contains("\"identical_bytes\": true"));
+        assert!(s.contains("local-1:scalar(54)"));
+        assert!(!s.contains("NaN"));
     }
 }

@@ -4,8 +4,10 @@
 //! path is unit-testable. Parsing is purely syntactic; semantic validation
 //! is shared with programmatic callers via [`SweepConfig::validate`].
 
-use crate::bench::BenchOptions;
+use crate::bench::{BenchOptions, SaturationOptions};
+use crate::serve::{ServeOptions, SubmitOptions};
 use crate::sweep::SweepConfig;
+use crate::worker::WorkerOptions;
 use rh_core::{DataPattern, KernelChoice};
 
 pub const USAGE: &str = "\
@@ -15,6 +17,13 @@ USAGE:
     rh-cli sweep [OPTIONS]
     rh-cli bench [--quick] [--out <PATH>] [--repeat <N>] [--filter <SUBSTR>]
                  [--min-acts-per-sec <RATE>] [--kernel <K>]
+    rh-cli bench --saturation [--quick] [--out <PATH>] [--workers <A,B,...>]
+                 [--kernel <K>] [--min-cells-per-sec <RATE>]
+    rh-cli serve [--workers <N>] [--listen <ADDR>] [--kernel <K>]
+                 [--cache-capacity <N>] [--checkpoint-dir <DIR>]
+                 [--shard-cells <N>]
+    rh-cli worker [--connect <ADDR>] [--exit-after-cells <N>]
+    rh-cli submit --connect <ADDR>
 
 SWEEP OPTIONS:
     --seed <N>              RNG seed for device + mitigations (default 0xC0FFEE)
@@ -59,6 +68,44 @@ counter tables, batched engine, epoch-based refresh) and the retained
 pre-optimization path (map-based counters, unbatched dyn dispatch, eager
 refresh), verifies both produce identical results, and writes a JSON report
 with before/after throughput plus a per-mitigation breakdown.
+
+SATURATION BENCH OPTIONS (bench --saturation):
+    --quick                 shrink the per-cell activation budget for CI
+    --out <PATH>            report path (default BENCH_7.json)
+    --workers <A,B,...>     worker-pool sizes to measure (default 1,2,4,8)
+    --kernel <K>            settle-kernel request propagated to every worker
+    --min-cells-per-sec <R> exit non-zero if peak throughput falls below R
+
+bench --saturation measures the distributed service end to end: for each
+pool size it starts a coordinator, spawns that many rh-cli worker
+processes, submits the default sweep, and records cells/sec from submit to
+merged envelope — byte-checking every merged document against the
+in-process sweep.
+
+SERVE OPTIONS:
+    --workers <N>           local worker processes to spawn (default 2)
+    --listen <ADDR>         also accept clients and workers over TCP
+                            (e.g. 127.0.0.1:4242; port 0 for ephemeral);
+                            without it, configs are read as jsonl on stdin
+    --kernel <K>            settle-kernel request sent with every shard
+    --cache-capacity <N>    result-cache size in documents (default 128)
+    --checkpoint-dir <DIR>  append per-cell checkpoints; resubmits resume
+    --shard-cells <N>       max cells per shard lease (default 16)
+
+WORKER OPTIONS:
+    --connect <ADDR>        attach to a coordinator over TCP (default:
+                            speak the jsonl protocol over stdio, as when
+                            spawned by serve)
+    --exit-after-cells <N>  fault injection: drop the connection after N
+                            cells (for reassignment tests)
+
+SUBMIT OPTIONS:
+    --connect <ADDR>        coordinator address (required)
+
+submit reads jsonl sweep configs from stdin ('{}' is the default sweep),
+sends each to the coordinator, prints each returned merged document
+verbatim on stdout (byte-identical to 'rh-cli sweep' of the same config),
+and reports cache/worker metadata on stderr.
 ";
 
 /// Fully parsed invocation: the sweep config plus execution options that
@@ -85,10 +132,17 @@ pub enum Invocation {
 pub enum BenchInvocation {
     Help,
     Bench(BenchOptions),
+    /// `bench --saturation`: the distributed service throughput bench.
+    Saturation(SaturationOptions),
 }
 
-/// Parse the arguments following the `bench` subcommand.
+/// Parse the arguments following the `bench` subcommand. `--saturation`
+/// anywhere switches to the saturation-bench flag set (the two modes share
+/// `--quick`/`--out`/`--kernel` but disagree about everything else).
 pub fn parse_bench_args(args: &[String]) -> Result<BenchInvocation, String> {
+    if args.iter().any(|a| a == "--saturation") {
+        return parse_saturation_args(args);
+    }
     let mut opts = BenchOptions::default();
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -129,6 +183,180 @@ pub fn parse_bench_args(args: &[String]) -> Result<BenchInvocation, String> {
         i += 1;
     }
     Ok(BenchInvocation::Bench(opts))
+}
+
+/// Parse `bench --saturation` flags.
+fn parse_saturation_args(args: &[String]) -> Result<BenchInvocation, String> {
+    let mut opts = SaturationOptions::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--saturation" => {}
+            "--quick" => opts.quick = true,
+            "--out" => opts.out_path = value(&mut i, "--out")?,
+            "--workers" => {
+                opts.worker_counts = parse_list(&value(&mut i, "--workers")?, "--workers")?;
+                if opts.worker_counts.contains(&0) {
+                    return Err("--workers pool sizes must be at least 1".to_string());
+                }
+            }
+            "--kernel" => {
+                let v = value(&mut i, "--kernel")?;
+                opts.kernel = v.parse()?;
+            }
+            "--min-cells-per-sec" => {
+                let v = value(&mut i, "--min-cells-per-sec")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --min-cells-per-sec '{v}'"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(format!("--min-cells-per-sec must be positive, got '{v}'"));
+                }
+                opts.min_cells_per_sec = Some(rate);
+            }
+            "-h" | "--help" => return Ok(BenchInvocation::Help),
+            other => return Err(format!("unknown bench --saturation option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(BenchInvocation::Saturation(opts))
+}
+
+/// Outcome of parsing the arguments after `serve`.
+#[derive(Debug, Clone)]
+pub enum ServeInvocation {
+    Help,
+    Serve(ServeOptions),
+}
+
+/// Parse the arguments following the `serve` subcommand.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeInvocation, String> {
+    let mut opts = ServeOptions::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                let v = value(&mut i, "--workers")?;
+                opts.workers = v.parse().map_err(|_| format!("invalid --workers '{v}'"))?;
+            }
+            "--listen" => opts.listen = Some(value(&mut i, "--listen")?),
+            "--kernel" => {
+                let v = value(&mut i, "--kernel")?;
+                opts.kernel = v.parse()?;
+            }
+            "--cache-capacity" => {
+                let v = value(&mut i, "--cache-capacity")?;
+                opts.cache_capacity = v
+                    .parse()
+                    .map_err(|_| format!("invalid --cache-capacity '{v}'"))?;
+                if opts.cache_capacity == 0 {
+                    return Err("--cache-capacity must be at least 1".to_string());
+                }
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(value(&mut i, "--checkpoint-dir")?.into());
+            }
+            "--shard-cells" => {
+                let v = value(&mut i, "--shard-cells")?;
+                opts.shard_cells = v
+                    .parse()
+                    .map_err(|_| format!("invalid --shard-cells '{v}'"))?;
+                if opts.shard_cells == 0 {
+                    return Err("--shard-cells must be at least 1".to_string());
+                }
+            }
+            "-h" | "--help" => return Ok(ServeInvocation::Help),
+            other => return Err(format!("unknown serve option '{other}'")),
+        }
+        i += 1;
+    }
+    if opts.workers == 0 && opts.listen.is_none() {
+        return Err(
+            "a coordinator with --workers 0 and no --listen could never execute anything \
+             (give it local workers, or a listener for TCP workers to attach to)"
+                .to_string(),
+        );
+    }
+    Ok(ServeInvocation::Serve(opts))
+}
+
+/// Outcome of parsing the arguments after `worker`.
+#[derive(Debug, Clone)]
+pub enum WorkerInvocation {
+    Help,
+    Worker(WorkerOptions),
+}
+
+/// Parse the arguments following the `worker` subcommand.
+pub fn parse_worker_args(args: &[String]) -> Result<WorkerInvocation, String> {
+    let mut opts = WorkerOptions::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => opts.connect = Some(value(&mut i, "--connect")?),
+            "--exit-after-cells" => {
+                let v = value(&mut i, "--exit-after-cells")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --exit-after-cells '{v}'"))?;
+                if n == 0 {
+                    return Err("--exit-after-cells must be at least 1".to_string());
+                }
+                opts.exit_after_cells = Some(n);
+            }
+            "-h" | "--help" => return Ok(WorkerInvocation::Help),
+            other => return Err(format!("unknown worker option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(WorkerInvocation::Worker(opts))
+}
+
+/// Outcome of parsing the arguments after `submit`.
+#[derive(Debug, Clone)]
+pub enum SubmitInvocation {
+    Help,
+    Submit(SubmitOptions),
+}
+
+/// Parse the arguments following the `submit` subcommand.
+pub fn parse_submit_args(args: &[String]) -> Result<SubmitInvocation, String> {
+    let mut connect = None;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => connect = Some(value(&mut i, "--connect")?),
+            "-h" | "--help" => return Ok(SubmitInvocation::Help),
+            other => return Err(format!("unknown submit option '{other}'")),
+        }
+        i += 1;
+    }
+    let connect = connect.ok_or("submit requires --connect <ADDR>")?;
+    Ok(SubmitInvocation::Submit(SubmitOptions { connect }))
 }
 
 /// Parse a comma-separated list, skipping empty items (so trailing commas
@@ -447,7 +675,7 @@ mod tests {
                 assert_eq!(o.min_acts_per_sec, None);
                 assert_eq!(o.kernel, KernelChoice::Auto);
             }
-            BenchInvocation::Help => panic!("unexpected help"),
+            other => panic!("unexpected invocation {other:?}"),
         }
         let owned: Vec<String> = [
             "--quick",
@@ -474,7 +702,7 @@ mod tests {
                 assert_eq!(o.min_acts_per_sec, Some(1_000_000.0));
                 assert_eq!(o.kernel, KernelChoice::Scalar);
             }
-            BenchInvocation::Help => panic!("unexpected help"),
+            other => panic!("unexpected invocation {other:?}"),
         }
         for bad in [
             &["--out"][..],
@@ -497,6 +725,156 @@ mod tests {
         assert!(matches!(
             parse_bench_args(&["--help".to_string()]),
             Ok(BenchInvocation::Help)
+        ));
+    }
+
+    #[test]
+    fn saturation_args_parse_and_reject() {
+        let owned: Vec<String> = [
+            "--saturation",
+            "--quick",
+            "--out",
+            "sat.json",
+            "--workers",
+            "1,2,4",
+            "--kernel",
+            "scalar",
+            "--min-cells-per-sec",
+            "10",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_bench_args(&owned).unwrap() {
+            BenchInvocation::Saturation(o) => {
+                assert!(o.quick);
+                assert_eq!(o.out_path, "sat.json");
+                assert_eq!(o.worker_counts, vec![1, 2, 4]);
+                assert_eq!(o.kernel, KernelChoice::Scalar);
+                assert_eq!(o.min_cells_per_sec, Some(10.0));
+            }
+            other => panic!("unexpected invocation {other:?}"),
+        }
+        // --saturation anywhere in the args switches flag sets, and the
+        // defaults ask for the BENCH_7 shape.
+        match parse_bench_args(&["--saturation".to_string()]).unwrap() {
+            BenchInvocation::Saturation(o) => {
+                assert_eq!(o.out_path, "BENCH_7.json");
+                assert_eq!(o.worker_counts, vec![1, 2, 4, 8]);
+            }
+            other => panic!("unexpected invocation {other:?}"),
+        }
+        for bad in [
+            &["--saturation", "--workers", "0"][..],
+            &["--saturation", "--workers", "2,0"],
+            &["--saturation", "--workers", "x"],
+            &["--saturation", "--min-cells-per-sec", "-1"],
+            &["--saturation", "--repeat", "3"], // bench-only flag
+        ] {
+            let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                parse_bench_args(&owned).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_args_parse_and_reject() {
+        match parse_serve_args(&[]).unwrap() {
+            ServeInvocation::Serve(o) => {
+                assert_eq!(o.workers, 2);
+                assert_eq!(o.listen, None);
+                assert_eq!(o.cache_capacity, crate::cache::DEFAULT_CAPACITY);
+                assert!(o.checkpoint_dir.is_none());
+            }
+            ServeInvocation::Help => panic!("unexpected help"),
+        }
+        let owned: Vec<String> = [
+            "--workers",
+            "0",
+            "--listen",
+            "127.0.0.1:0",
+            "--kernel",
+            "scalar",
+            "--cache-capacity",
+            "7",
+            "--checkpoint-dir",
+            "/tmp/ckpt",
+            "--shard-cells",
+            "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_serve_args(&owned).unwrap() {
+            ServeInvocation::Serve(o) => {
+                assert_eq!(o.workers, 0);
+                assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(o.kernel, KernelChoice::Scalar);
+                assert_eq!(o.cache_capacity, 7);
+                assert_eq!(
+                    o.checkpoint_dir.as_deref(),
+                    Some(std::path::Path::new("/tmp/ckpt"))
+                );
+                assert_eq!(o.shard_cells, 4);
+            }
+            ServeInvocation::Help => panic!("unexpected help"),
+        }
+        for bad in [
+            // A pool of zero local workers with nowhere for TCP workers to
+            // attach can never make progress.
+            &["--workers", "0"][..],
+            &["--workers", "x"],
+            &["--cache-capacity", "0"],
+            &["--shard-cells", "0"],
+            &["--bogus"],
+        ] {
+            let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                parse_serve_args(&owned).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_and_submit_args_parse_and_reject() {
+        match parse_worker_args(&[]).unwrap() {
+            WorkerInvocation::Worker(o) => {
+                assert_eq!(o.connect, None);
+                assert_eq!(o.exit_after_cells, None);
+            }
+            WorkerInvocation::Help => panic!("unexpected help"),
+        }
+        let owned: Vec<String> = ["--connect", "127.0.0.1:9", "--exit-after-cells", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_worker_args(&owned).unwrap() {
+            WorkerInvocation::Worker(o) => {
+                assert_eq!(o.connect.as_deref(), Some("127.0.0.1:9"));
+                assert_eq!(o.exit_after_cells, Some(3));
+            }
+            WorkerInvocation::Help => panic!("unexpected help"),
+        }
+        assert!(parse_worker_args(&["--exit-after-cells".to_string(), "0".to_string()]).is_err());
+        assert!(parse_worker_args(&["--bogus".to_string()]).is_err());
+
+        let owned: Vec<String> = ["--connect", "127.0.0.1:9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_submit_args(&owned).unwrap() {
+            SubmitInvocation::Submit(o) => assert_eq!(o.connect, "127.0.0.1:9"),
+            SubmitInvocation::Help => panic!("unexpected help"),
+        }
+        // submit without a coordinator address is meaningless.
+        assert!(parse_submit_args(&[]).is_err());
+        assert!(parse_submit_args(&["--bogus".to_string()]).is_err());
+        assert!(matches!(
+            parse_submit_args(&["--help".to_string()]),
+            Ok(SubmitInvocation::Help)
         ));
     }
 

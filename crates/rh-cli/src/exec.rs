@@ -14,6 +14,12 @@
 //! chunks) because the plan's grid cycles mitigations fastest: dealing
 //! spreads the expensive mitigation families evenly across threads.
 //!
+//! The same per-cell machinery (the crate-internal `Worker::run_cell` over
+//! a `build_table_cache` table set) is the execution core of the
+//! distributed service's worker process ([`crate::worker`]): a shard lease
+//! there is just this module's shard concept serialized across a process
+//! boundary.
+//!
 //! Hot-path amortization across cells:
 //!
 //! * **Shared device tables**: the immutable seed-derived tables

@@ -4,6 +4,14 @@
 //! registry), so rather than pulling in serde we hand-render the small,
 //! fixed-shape result document. All strings we emit are crate-controlled
 //! identifiers, but they are escaped anyway for robustness.
+//!
+//! [`render`] is the single definition of the sweep document: the
+//! distributed coordinator ([`crate::serve`]) finalizes its slot-merged
+//! results through the same function, which is what makes "distributed
+//! output is byte-identical to in-process `sweep`" a structural property
+//! rather than a re-implementation kept in sync. The config field names
+//! rendered here are also the submit-side schema accepted by
+//! [`crate::proto::config_from_value`].
 
 use crate::engine::RunResult;
 use crate::sweep::SweepOutput;

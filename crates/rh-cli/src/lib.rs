@@ -18,14 +18,22 @@
 //! sweep and emits `BENCH_6.json`.
 
 pub mod bench;
+pub mod cache;
 pub mod cli;
 pub mod engine;
 pub mod exec;
 pub mod json;
 pub mod plan;
+pub mod proto;
+pub mod serve;
 pub mod sweep;
+pub mod worker;
 
 pub use bench::{run_bench, BenchOptions, BenchReport};
+pub use cache::ResultCache;
 pub use engine::{run_experiment, RunResult};
 pub use plan::{CellSeeds, CellSpec, SweepPlan};
+pub use proto::{config_hash, config_key, ResultEnvelope};
+pub use serve::{run_serve, run_submit, Coordinator, ServeOptions, SubmitOptions};
 pub use sweep::{run_sweep, run_sweep_with_kernel, SweepConfig, SweepOutput};
+pub use worker::{run_worker, WorkerOptions};

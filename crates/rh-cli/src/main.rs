@@ -3,8 +3,11 @@
 //! Thin binary shell: parsing lives in [`rh_cli::cli`] and the pipeline in
 //! the library so both are unit-testable. See `rh-cli --help` for options.
 
-use rh_cli::cli::{parse_args, parse_bench_args, BenchInvocation, Invocation, USAGE};
-use rh_cli::{bench, json, run_sweep_with_kernel};
+use rh_cli::cli::{
+    parse_args, parse_bench_args, parse_serve_args, parse_submit_args, parse_worker_args,
+    BenchInvocation, Invocation, ServeInvocation, SubmitInvocation, WorkerInvocation, USAGE,
+};
+use rh_cli::{bench, json, run_serve, run_submit, run_sweep_with_kernel, run_worker};
 use std::process::ExitCode;
 
 fn run_bench_command(opts: &bench::BenchOptions) -> ExitCode {
@@ -46,6 +49,45 @@ fn run_bench_command(opts: &bench::BenchOptions) -> ExitCode {
     }
 }
 
+fn run_saturation_command(opts: &bench::SaturationOptions) -> ExitCode {
+    match bench::run_saturation(opts) {
+        Ok(report) => {
+            let doc = bench::render_saturation(&report);
+            if let Err(e) = std::fs::write(&opts.out_path, format!("{doc}\n")) {
+                eprintln!("error: cannot write {}: {e}", opts.out_path);
+                return ExitCode::FAILURE;
+            }
+            println!("{doc}");
+            eprintln!(
+                "saturation: peak {:.1} cells/sec over pools {:?}, report at {}",
+                report.peak_cells_per_sec, opts.worker_counts, opts.out_path
+            );
+            if !report.identical_bytes {
+                eprintln!(
+                    "error: distributed documents diverged from the in-process sweep \
+                     (determinism regression)"
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Some(min) = opts.min_cells_per_sec {
+                if report.peak_cells_per_sec < min {
+                    eprintln!(
+                        "error: peak throughput {:.1} cells/sec below the \
+                         --min-cells-per-sec floor of {min:.1} (perf regression)",
+                        report.peak_cells_per_sec
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -55,6 +97,58 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Ok(BenchInvocation::Bench(opts)) => run_bench_command(&opts),
+            Ok(BenchInvocation::Saturation(opts)) => run_saturation_command(&opts),
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("serve") => match parse_serve_args(&args[1..]) {
+            Ok(ServeInvocation::Help) => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Ok(ServeInvocation::Serve(opts)) => match run_serve(opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("worker") => match parse_worker_args(&args[1..]) {
+            Ok(WorkerInvocation::Help) => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Ok(WorkerInvocation::Worker(opts)) => match run_worker(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("submit") => match parse_submit_args(&args[1..]) {
+            Ok(SubmitInvocation::Help) => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Ok(SubmitInvocation::Submit(opts)) => match run_submit(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
             Err(e) => {
                 eprintln!("error: {e}\n\n{USAGE}");
                 ExitCode::FAILURE

@@ -16,6 +16,14 @@
 //!    function of the config — `--threads 1` and `--threads 8` emit
 //!    byte-identical JSON.
 //!
+//! Two properties of this function are load-bearing for the distributed
+//! service ([`crate::serve`]/[`crate::worker`]): the plan is a **pure
+//! function of the config** (no ambient state, no execution-order
+//! dependence), and normalization is **idempotent** — so a coordinator can
+//! lease bare cell *indices* over the wire and a worker re-expanding
+//! `SweepPlan::from_config` from the normalized config is guaranteed to
+//! index the same cells.
+//!
 //! Seed derivation is deliberately *not* fully per-cell-unique: seeds are
 //! derived from exactly the coordinates a stream may depend on, so that the
 //! sweep's common-random-number (CRN) comparisons stay valid:

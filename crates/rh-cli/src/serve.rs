@@ -1,0 +1,1123 @@
+//! `rh-cli serve` — the coordinator of the distributed sweep service.
+//!
+//! The thread-level executor ([`crate::exec`]) promoted one level up: the
+//! coordinator accepts sweep configs (jsonl over stdin, or over a TCP
+//! listener that multiplexes clients and workers), expands each through
+//! [`SweepPlan::from_config`], chunks the plan's cell lists into shard
+//! leases, schedules the leases across a pool of `rh-cli worker` processes
+//! (spawned locally over stdio pipes, or attached over TCP), and merges the
+//! streamed per-cell results back into plan order. The merged document is
+//! **byte-identical to an in-process `rh-cli sweep` run of the same
+//! config** regardless of shard layout, worker count, worker arrival
+//! order, or mid-job worker death — the PR 2 determinism invariant
+//! generalized from threads to processes and hosts. This works because a
+//! cell result is a pure function of `(config, cell index)` and the merge
+//! is slot-addressed: *where* a result came from can't matter.
+//!
+//! Service machinery layered on top:
+//!
+//! * **Result cache** ([`crate::cache`]): completed documents are stored
+//!   under the canonical `(config_hash, seed)` key; a repeated request is
+//!   served from memory without touching a worker, observable via the
+//!   `served_from_cache` flag and coordinator-lifetime `cache_hits`
+//!   counter in the response envelope.
+//! * **Single-flight dedup**: a submit whose key matches an in-flight job
+//!   doesn't execute — it waits on that job and is served from the cache
+//!   the moment the primary lands (`coalesced: true`). N concurrent
+//!   identical requests cost one execution.
+//! * **Checkpointing**: with `--checkpoint-dir`, every merged cell is
+//!   appended to a jsonl file keyed by `(config_hash, seed, list)`. A
+//!   resubmit after a crash or cancel loads the file, fills the slots it
+//!   covers, and schedules only the missing cells (`checkpoint_cells` in
+//!   the envelope counts the restored ones).
+//! * **Worker-death recovery**: a worker connection dropping mid-shard
+//!   requeues the lease minus the cells that already streamed back; another
+//!   worker re-executes only the remainder. Determinism makes re-execution
+//!   harmless by construction.
+//! * **Back-pressure**: all transports are blocking pipes/TCP streams. A
+//!   coordinator that falls behind stops draining, the worker's writes
+//!   stall, and the pipeline self-throttles — no unbounded buffering
+//!   anywhere.
+
+use crate::cache::ResultCache;
+use crate::engine::RunResult;
+use crate::json;
+use crate::plan::SweepPlan;
+use crate::proto::{
+    self, encode_error, read_line, write_line, ClientMsg, FromWorker, ResultEnvelope, ShardList,
+    ToWorker, WorkerStat,
+};
+use crate::sweep::{SweepConfig, SweepOutput};
+use rh_core::KernelChoice;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long [`Coordinator::start`] waits for locally-spawned workers to say
+/// hello before giving up (covers debug-build startup on a loaded box).
+const HELLO_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Configuration for [`Coordinator::start`] (the parsed `rh-cli serve`
+/// flags, plus test-only knobs).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Local worker processes to spawn over stdio pipes.
+    pub workers: usize,
+    /// TCP address to listen on for clients and late-attaching workers
+    /// (e.g. `127.0.0.1:4242`, port 0 for ephemeral).
+    pub listen: Option<String>,
+    /// Settle-kernel request propagated to every shard lease.
+    pub kernel: KernelChoice,
+    /// Result-cache capacity in documents.
+    pub cache_capacity: usize,
+    /// Directory for per-shard checkpoint files; `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Maximum cells per shard lease.
+    pub shard_cells: usize,
+    /// Worker executable to spawn; defaults to the current executable
+    /// (tests point it at the real `rh-cli` binary).
+    pub worker_program: Option<PathBuf>,
+    /// Extra argv per local worker index (fault injection in tests:
+    /// `["--exit-after-cells", "7"]` for worker 0 only).
+    pub worker_extra_args: Vec<Vec<String>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            listen: None,
+            kernel: KernelChoice::Auto,
+            cache_capacity: crate::cache::DEFAULT_CAPACITY,
+            checkpoint_dir: None,
+            shard_cells: 16,
+            worker_program: None,
+            worker_extra_args: Vec::new(),
+        }
+    }
+}
+
+/// One schedulable unit: a contiguous-ish slice of one job's cell list.
+#[derive(Debug, Clone)]
+struct Lease {
+    job: u64,
+    shard: u64,
+    list: ShardList,
+    indices: Vec<usize>,
+}
+
+/// Terminal state of a job: the rendered document, or an error.
+type JobOutcome = Result<String, String>;
+
+struct Job {
+    plan: Arc<SweepPlan>,
+    key: (u64, u64),
+    kernel: KernelChoice,
+    grid: Vec<Option<RunResult>>,
+    para: Vec<Option<RunResult>>,
+    /// Unfilled slots remaining before the job can merge.
+    remaining: usize,
+    executed_cells: u64,
+    checkpoint_cells: u64,
+    /// Worker name → (resolved kernel, cells contributed).
+    workers: BTreeMap<String, (String, u64)>,
+    done: Option<JobOutcome>,
+}
+
+impl Job {
+    fn slot(&mut self, list: ShardList, index: usize) -> Option<&mut Option<RunResult>> {
+        match list {
+            ShardList::Grid => self.grid.get_mut(index),
+            ShardList::Para => self.para.get_mut(index),
+        }
+    }
+}
+
+struct State {
+    jobs: HashMap<u64, Job>,
+    /// Client-visible job ids (for `cancel`).
+    named: HashMap<String, u64>,
+    queue: VecDeque<Lease>,
+    cache: ResultCache,
+    /// Key → job id of the in-flight execution (single-flight dedup).
+    inflight: HashMap<(u64, u64), u64>,
+    next_job: u64,
+    next_shard: u64,
+    /// Workers currently connected (past hello).
+    live_workers: usize,
+    /// Locally-spawned workers that have said hello (the start barrier).
+    local_hellos: usize,
+    /// A local worker exited before hello (spawn failure).
+    spawn_failed: Option<String>,
+    shutting_down: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signaled when leases are queued or the service shuts down.
+    work: Condvar,
+    /// Signaled on job completion, hello, and failure.
+    done: Condvar,
+    kernel: KernelChoice,
+    checkpoint_dir: Option<PathBuf>,
+    shard_cells: usize,
+    /// TCP listen mode: workers may attach later, so an empty pool blocks
+    /// instead of failing jobs.
+    allow_late_workers: bool,
+}
+
+/// A running coordinator. Submit jobs via [`Coordinator::submit`] (the TCP
+/// listener and the CLI's stdin loop both funnel into it).
+pub struct Coordinator {
+    inner: Arc<Inner>,
+    children: Mutex<Vec<Child>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    listen_addr: Option<SocketAddr>,
+}
+
+impl Coordinator {
+    /// Spawn local workers, bind the listener (if any), and wait for every
+    /// local worker's hello so submits never race worker startup.
+    pub fn start(opts: ServeOptions) -> Result<Self, String> {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                named: HashMap::new(),
+                queue: VecDeque::new(),
+                cache: ResultCache::new(opts.cache_capacity),
+                inflight: HashMap::new(),
+                next_job: 0,
+                next_shard: 0,
+                live_workers: 0,
+                local_hellos: 0,
+                spawn_failed: None,
+                shutting_down: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            kernel: opts.kernel,
+            checkpoint_dir: opts.checkpoint_dir.clone(),
+            shard_cells: opts.shard_cells.max(1),
+            allow_late_workers: opts.listen.is_some(),
+        });
+        if let Some(dir) = &inner.checkpoint_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+        }
+
+        let listen_addr = match &opts.listen {
+            Some(addr) => {
+                let listener =
+                    TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+                let bound = listener
+                    .local_addr()
+                    .map_err(|e| format!("local_addr: {e}"))?;
+                let accept_inner = Arc::clone(&inner);
+                // Detached: dies with the process. Joining would require
+                // interrupting accept(), which std can't do portably.
+                std::thread::spawn(move || accept_loop(&accept_inner, &listener));
+                Some(bound)
+            }
+            None => None,
+        };
+
+        let coordinator = Self {
+            inner,
+            children: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            listen_addr,
+        };
+
+        let program = match &opts.worker_program {
+            Some(p) => p.clone(),
+            None => std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+        };
+        for i in 0..opts.workers {
+            coordinator.spawn_local_worker(&program, i, &opts)?;
+        }
+
+        // Hello barrier: a submit issued right after start() must find the
+        // whole pool live.
+        let deadline = std::time::Instant::now() + HELLO_TIMEOUT;
+        let mut st = coordinator.inner.state.lock().expect("coordinator lock");
+        while st.local_hellos < opts.workers {
+            if let Some(err) = &st.spawn_failed {
+                return Err(format!("local worker failed to start: {err}"));
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err(format!(
+                    "timed out waiting for {} local workers to say hello",
+                    opts.workers
+                ));
+            }
+            let (guard, _) = coordinator
+                .inner
+                .done
+                .wait_timeout(st, left)
+                .expect("coordinator lock");
+            st = guard;
+        }
+        drop(st);
+        Ok(coordinator)
+    }
+
+    fn spawn_local_worker(
+        &self,
+        program: &Path,
+        index: usize,
+        opts: &ServeOptions,
+    ) -> Result<(), String> {
+        let mut cmd = Command::new(program);
+        cmd.arg("worker");
+        if let Some(extra) = opts.worker_extra_args.get(index) {
+            cmd.args(extra);
+        }
+        // Environment inherited on purpose: RH_FORCE_SCALAR set on the
+        // coordinator reaches every local worker's own resolve().
+        let mut child = cmd
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {}: {e}", program.display()))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let inner = Arc::clone(&self.inner);
+        let name = format!("local-{index}");
+        let handle = std::thread::spawn(move || worker_handler(&inner, &name, stdout, stdin, true));
+        self.handlers.lock().expect("handler lock").push(handle);
+        self.children.lock().expect("children lock").push(child);
+        Ok(())
+    }
+
+    /// The bound TCP address, when listening (port 0 resolves here).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listen_addr
+    }
+
+    /// Submit one config and block until its envelope is ready (cache hit,
+    /// coalesced onto an in-flight twin, or executed).
+    pub fn submit(&self, id: Option<String>, cfg: &SweepConfig) -> Result<ResultEnvelope, String> {
+        Inner::submit(&self.inner, id, cfg)
+    }
+
+    /// Cancel a named in-flight job: queued leases are dropped, waiters get
+    /// an error, checkpointed cells survive for a later resubmit. Returns
+    /// false for unknown/finished ids.
+    pub fn cancel(&self, id: &str) -> bool {
+        cancel_by_name(&self.inner, id)
+    }
+
+    /// Lifetime cache hits (the observable served-from-cache counter).
+    pub fn cache_hits(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .cache
+            .hits()
+    }
+
+    /// Count of currently-connected workers.
+    pub fn live_workers(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .live_workers
+    }
+
+    /// Stop accepting work, shut down workers, and join handler threads.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("coordinator lock");
+            if st.shutting_down {
+                return;
+            }
+            st.shutting_down = true;
+            for job in st.jobs.values_mut() {
+                if job.done.is_none() {
+                    job.done = Some(Err("coordinator shutting down".to_string()));
+                }
+            }
+            st.queue.clear();
+            st.inflight.clear();
+            self.inner.work.notify_all();
+            self.inner.done.notify_all();
+        }
+        for handle in self.handlers.lock().expect("handler lock").drain(..) {
+            let _ = handle.join();
+        }
+        for child in self.children.lock().expect("children lock").iter_mut() {
+            // Handlers already sent shutdown; reap (or kill a wedged one).
+            match child.try_wait() {
+                Ok(Some(_)) => {}
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Inner {
+    fn submit(
+        inner: &Arc<Inner>,
+        id: Option<String>,
+        cfg: &SweepConfig,
+    ) -> Result<ResultEnvelope, String> {
+        let key = proto::config_key(cfg);
+        let plan = Arc::new(SweepPlan::from_config(cfg)?);
+        let mut st = inner.state.lock().expect("coordinator lock");
+        if st.shutting_down {
+            return Err("coordinator shutting down".to_string());
+        }
+        let id = id.unwrap_or_else(|| format!("job-{}", st.next_job));
+
+        // 1. Cache.
+        if let Some(document) = st.cache.get(key) {
+            return Ok(envelope(
+                &id,
+                key,
+                &st,
+                true,
+                false,
+                0,
+                0,
+                Vec::new(),
+                document,
+            ));
+        }
+
+        // 2. Coalesce onto an identical in-flight job.
+        if let Some(&primary) = st.inflight.get(&key) {
+            loop {
+                let outcome = st
+                    .jobs
+                    .get(&primary)
+                    .and_then(|j| j.done.clone())
+                    .or_else(|| {
+                        st.shutting_down
+                            .then(|| Err("coordinator shutting down".into()))
+                    });
+                match outcome {
+                    Some(Ok(_)) => {
+                        // Served from the cache the primary just filled — a
+                        // real cache hit, plus the coalesced marker.
+                        let document = st
+                            .cache
+                            .get(key)
+                            .expect("primary job inserts before completing");
+                        return Ok(envelope(
+                            &id,
+                            key,
+                            &st,
+                            true,
+                            true,
+                            0,
+                            0,
+                            Vec::new(),
+                            document,
+                        ));
+                    }
+                    Some(Err(e)) => return Err(e),
+                    None => st = inner.done.wait(st).expect("coordinator lock"),
+                }
+            }
+        }
+
+        // 3. New job.
+        let job_id = st.next_job;
+        st.next_job += 1;
+        let mut job = Job {
+            grid: vec![None; plan.grid.len()],
+            para: vec![None; plan.para_sweep.len()],
+            remaining: plan.grid.len() + plan.para_sweep.len(),
+            plan: Arc::clone(&plan),
+            key,
+            kernel: inner.kernel,
+            executed_cells: 0,
+            checkpoint_cells: 0,
+            workers: BTreeMap::new(),
+            done: None,
+        };
+        if let Some(dir) = &inner.checkpoint_dir {
+            load_checkpoints(dir, &mut job);
+        }
+
+        if job.remaining == 0 {
+            // Fully restored from checkpoints: no worker needed at all.
+            let document = finalize_document(&job);
+            st.cache.put(key, document.clone());
+            let checkpoint_cells = job.checkpoint_cells;
+            job.done = Some(Ok(document.clone()));
+            st.jobs.insert(job_id, job);
+            st.named.insert(id.clone(), job_id);
+            inner.done.notify_all();
+            return Ok(envelope(
+                &id,
+                key,
+                &st,
+                false,
+                false,
+                0,
+                checkpoint_cells,
+                Vec::new(),
+                document,
+            ));
+        }
+
+        if st.live_workers == 0 && !inner.allow_late_workers {
+            return Err(
+                "no live workers and none can attach (start with --workers or --listen)"
+                    .to_string(),
+            );
+        }
+
+        // Queue shard leases for the missing cells.
+        let mut leases = Vec::new();
+        for (list, slots) in [(ShardList::Grid, &job.grid), (ShardList::Para, &job.para)] {
+            let missing: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.is_none().then_some(i))
+                .collect();
+            for chunk in missing.chunks(inner.shard_cells) {
+                let shard = st.next_shard;
+                st.next_shard += 1;
+                leases.push(Lease {
+                    job: job_id,
+                    shard,
+                    list,
+                    indices: chunk.to_vec(),
+                });
+            }
+        }
+        st.jobs.insert(job_id, job);
+        st.named.insert(id.clone(), job_id);
+        st.inflight.insert(key, job_id);
+        st.queue.extend(leases);
+        inner.work.notify_all();
+
+        // 4. Wait for the merge.
+        loop {
+            let outcome = st.jobs.get(&job_id).and_then(|j| j.done.clone());
+            match outcome {
+                Some(Ok(document)) => {
+                    let job = &st.jobs[&job_id];
+                    let workers = job
+                        .workers
+                        .iter()
+                        .map(|(name, (kernel, cells))| WorkerStat {
+                            worker: name.clone(),
+                            kernel: kernel.clone(),
+                            cells: *cells,
+                        })
+                        .collect();
+                    let (executed, checkpointed) = (job.executed_cells, job.checkpoint_cells);
+                    return Ok(envelope(
+                        &id,
+                        key,
+                        &st,
+                        false,
+                        false,
+                        executed,
+                        checkpointed,
+                        workers,
+                        document,
+                    ));
+                }
+                Some(Err(e)) => return Err(e),
+                None => st = inner.done.wait(st).expect("coordinator lock"),
+            }
+        }
+    }
+}
+
+/// Build a response envelope (cache_hits snapshots the lifetime counter).
+#[allow(clippy::too_many_arguments)]
+fn envelope(
+    id: &str,
+    key: (u64, u64),
+    st: &State,
+    served_from_cache: bool,
+    coalesced: bool,
+    executed_cells: u64,
+    checkpoint_cells: u64,
+    workers: Vec<WorkerStat>,
+    document: String,
+) -> ResultEnvelope {
+    ResultEnvelope {
+        id: id.to_string(),
+        config_hash: key.0,
+        seed: key.1,
+        served_from_cache,
+        coalesced,
+        cache_hits: st.cache.hits(),
+        executed_cells,
+        checkpoint_cells,
+        workers,
+        document,
+    }
+}
+
+/// Render a completed job's merged document — exactly what
+/// [`crate::sweep::run_sweep`] would have produced in-process.
+fn finalize_document(job: &Job) -> String {
+    let grid: Vec<RunResult> = job
+        .grid
+        .iter()
+        .map(|s| s.clone().expect("job complete"))
+        .collect();
+    let para_sweep: Vec<RunResult> = job
+        .para
+        .iter()
+        .map(|s| s.clone().expect("job complete"))
+        .collect();
+    let para_monotone = para_sweep
+        .windows(2)
+        .all(|w| w[1].total_flips <= w[0].total_flips);
+    let out = SweepOutput {
+        config: job.plan.config.clone(),
+        grid,
+        para_sweep,
+        para_monotone,
+    };
+    json::render(&out)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+fn checkpoint_path(dir: &Path, key: (u64, u64), list: ShardList) -> PathBuf {
+    dir.join(format!(
+        "ckpt-{:016x}-{}-{}.jsonl",
+        key.0,
+        key.1,
+        list.name()
+    ))
+}
+
+/// Load whatever a previous run checkpointed for this job's key, filling
+/// result slots so only the remainder gets scheduled. Unparseable lines
+/// (a crash mid-append) are skipped — a torn tail costs one cell, not the
+/// file.
+fn load_checkpoints(dir: &Path, job: &mut Job) {
+    for list in [ShardList::Grid, ShardList::Para] {
+        let path = checkpoint_path(dir, job.key, list);
+        let Ok(contents) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for line in contents.lines() {
+            let Ok(v) = proto::parse(line) else { continue };
+            let Some(index) = v.get("index").and_then(proto::Value::as_usize) else {
+                continue;
+            };
+            let Some(result) = v
+                .get("result")
+                .and_then(|r| proto::result_from_value(r).ok())
+            else {
+                continue;
+            };
+            if let Some(slot @ None) = job.slot(list, index) {
+                *slot = Some(result);
+                job.remaining -= 1;
+                job.checkpoint_cells += 1;
+            }
+        }
+    }
+}
+
+/// Append one merged cell to its job's checkpoint file.
+fn checkpoint_cell(dir: &Path, key: (u64, u64), list: ShardList, index: usize, r: &RunResult) {
+    let path = checkpoint_path(dir, key, list);
+    let line = format!(
+        "{{\"index\":{index},\"result\":{}}}\n",
+        proto::result_to_json(r)
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!(
+            "rh-serve: checkpoint append to {} failed: {e}",
+            path.display()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker handling
+// ---------------------------------------------------------------------------
+
+/// Per-worker-connection loop: consume the hello, then lease shards and
+/// merge the streamed results until the connection drops or the service
+/// shuts down. `local` marks coordinator-spawned workers (they count toward
+/// the start barrier).
+fn worker_handler<R: BufRead, W: Write>(
+    inner: &Arc<Inner>,
+    name: &str,
+    mut reader: R,
+    mut writer: W,
+    local: bool,
+) {
+    // Hello first — a connection that says anything else is not a worker.
+    match read_line(&mut reader) {
+        Ok(Some(line)) => match FromWorker::decode(&line) {
+            Ok(FromWorker::Hello { .. }) => {}
+            _ => {
+                register_spawn_failure(inner, name, "first message was not hello", local);
+                return;
+            }
+        },
+        _ => {
+            register_spawn_failure(inner, name, "connection closed before hello", local);
+            return;
+        }
+    };
+    worker_session(inner, name, &mut reader, &mut writer, local);
+}
+
+/// [`worker_handler`] for TCP connections whose hello the accept loop
+/// already consumed (to tell workers from clients).
+fn worker_session<R: BufRead, W: Write>(
+    inner: &Arc<Inner>,
+    name: &str,
+    reader: &mut R,
+    writer: &mut W,
+    local: bool,
+) {
+    {
+        let mut st = inner.state.lock().expect("coordinator lock");
+        st.live_workers += 1;
+        if local {
+            st.local_hellos += 1;
+        }
+        inner.done.notify_all();
+    }
+
+    loop {
+        // Dequeue one live lease (or exit on shutdown).
+        let lease = {
+            let mut st = inner.state.lock().expect("coordinator lock");
+            loop {
+                if st.shutting_down {
+                    drop(st);
+                    let _ = write_line(writer, &ToWorker::Shutdown.encode());
+                    worker_gone(inner, name, local);
+                    return;
+                }
+                match st.queue.pop_front() {
+                    Some(lease) => {
+                        let alive = st.jobs.get(&lease.job).is_some_and(|j| j.done.is_none());
+                        if alive {
+                            break lease;
+                        }
+                        // Lease of a canceled/failed job: discard, keep looking.
+                    }
+                    None => st = inner.work.wait(st).expect("coordinator lock"),
+                }
+            }
+        };
+
+        // Materialize the wire lease outside the lock (configs are small,
+        // but writes can block on back-pressure).
+        let (config, kernel) = {
+            let st = inner.state.lock().expect("coordinator lock");
+            let job = &st.jobs[&lease.job];
+            (job.plan.config.clone(), job.kernel)
+        };
+        let msg = ToWorker::Shard {
+            job: lease.job,
+            shard: lease.shard,
+            list: lease.list,
+            indices: lease.indices.clone(),
+            kernel,
+            config,
+        };
+        if write_line(writer, &msg.encode()).is_err() {
+            requeue(inner, &lease);
+            worker_gone(inner, name, local);
+            return;
+        }
+
+        // Drain the shard's result stream.
+        loop {
+            let line = match read_line(reader) {
+                Ok(Some(line)) => line,
+                // Died mid-shard: requeue whatever it didn't deliver.
+                Ok(None) | Err(_) => {
+                    requeue(inner, &lease);
+                    worker_gone(inner, name, local);
+                    return;
+                }
+            };
+            let msg = match FromWorker::decode(&line) {
+                Ok(msg) => msg,
+                Err(_) => {
+                    requeue(inner, &lease);
+                    worker_gone(inner, name, local);
+                    return;
+                }
+            };
+            match msg {
+                FromWorker::Cell {
+                    job,
+                    index,
+                    kernel,
+                    result,
+                    ..
+                } => {
+                    let mut st = inner.state.lock().expect("coordinator lock");
+                    record_cell(
+                        inner, &mut st, name, &kernel, job, lease.list, index, result,
+                    );
+                }
+                FromWorker::ShardDone { job, kernel, .. } => {
+                    let mut st = inner.state.lock().expect("coordinator lock");
+                    if let Some(j) = st.jobs.get_mut(&job) {
+                        // The per-lease resolution is authoritative for this
+                        // worker's report entry.
+                        if let Some(stat) = j.workers.get_mut(name) {
+                            stat.0 = kernel;
+                        }
+                    }
+                    break;
+                }
+                FromWorker::Fail { job, message, .. } => {
+                    let mut st = inner.state.lock().expect("coordinator lock");
+                    fail_job(inner, &mut st, job, &message);
+                    break;
+                }
+                FromWorker::Hello { .. } => {} // duplicate hello: ignore
+            }
+        }
+    }
+}
+
+/// Merge one streamed cell into its job (idempotent: re-executed cells from
+/// a reassigned shard overwrite nothing and count nothing). `kernel` is the
+/// per-cell resolved kernel the worker reported.
+#[allow(clippy::too_many_arguments)]
+fn record_cell(
+    inner: &Arc<Inner>,
+    st: &mut MutexGuard<'_, State>,
+    worker: &str,
+    kernel: &str,
+    job_id: u64,
+    list: ShardList,
+    index: usize,
+    result: RunResult,
+) {
+    let Some(job) = st.jobs.get_mut(&job_id) else {
+        return;
+    };
+    if job.done.is_some() {
+        return;
+    }
+    let key = job.key;
+    let Some(slot) = job.slot(list, index) else {
+        return;
+    };
+    if slot.is_some() {
+        return;
+    }
+    *slot = Some(result.clone());
+    job.remaining -= 1;
+    job.executed_cells += 1;
+    let stat = job
+        .workers
+        .entry(worker.to_string())
+        .or_insert_with(|| (kernel.to_string(), 0));
+    if stat.0 != kernel {
+        stat.0 = kernel.to_string();
+    }
+    stat.1 += 1;
+    let complete = job.remaining == 0;
+    if let Some(dir) = &inner.checkpoint_dir {
+        checkpoint_cell(dir, key, list, index, &result);
+    }
+    if complete {
+        let document = finalize_document(&st.jobs[&job_id]);
+        st.cache.put(key, document.clone());
+        st.inflight.remove(&key);
+        if let Some(job) = st.jobs.get_mut(&job_id) {
+            job.done = Some(Ok(document));
+        }
+        inner.done.notify_all();
+    }
+}
+
+/// Fail one job (worker-reported permanent error): waiters wake with the
+/// message, queued leases are dropped.
+fn fail_job(inner: &Arc<Inner>, st: &mut MutexGuard<'_, State>, job_id: u64, message: &str) {
+    if let Some(job) = st.jobs.get_mut(&job_id) {
+        if job.done.is_none() {
+            let key = job.key;
+            job.done = Some(Err(message.to_string()));
+            st.inflight.remove(&key);
+            st.queue.retain(|l| l.job != job_id);
+            inner.done.notify_all();
+        }
+    }
+}
+
+/// Requeue a dead worker's lease, minus the cells it already streamed back.
+fn requeue(inner: &Arc<Inner>, lease: &Lease) {
+    let mut st = inner.state.lock().expect("coordinator lock");
+    let Some(job) = st.jobs.get_mut(&lease.job) else {
+        return;
+    };
+    if job.done.is_some() {
+        return;
+    }
+    let mut rest = lease.clone();
+    rest.indices
+        .retain(|&i| job.slot(lease.list, i).is_some_and(|s| s.is_none()));
+    if !rest.indices.is_empty() {
+        st.queue.push_front(rest);
+        inner.work.notify_all();
+    }
+}
+
+/// Account a worker disconnect. When the pool empties and no late workers
+/// can ever attach, pending jobs fail fast instead of hanging.
+fn worker_gone(inner: &Arc<Inner>, name: &str, _local: bool) {
+    let mut st = inner.state.lock().expect("coordinator lock");
+    st.live_workers = st.live_workers.saturating_sub(1);
+    if st.live_workers == 0 && !inner.allow_late_workers && !st.shutting_down {
+        let stuck: Vec<u64> = st
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.done.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        for job_id in stuck {
+            fail_job(
+                inner,
+                &mut st,
+                job_id,
+                &format!("all workers exited (last was {name})"),
+            );
+        }
+    }
+}
+
+fn register_spawn_failure(inner: &Arc<Inner>, name: &str, why: &str, local: bool) {
+    if local {
+        let mut st = inner.state.lock().expect("coordinator lock");
+        st.spawn_failed = Some(format!("{name}: {why}"));
+        inner.done.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP front door
+// ---------------------------------------------------------------------------
+
+/// Accept loop: every connection's first line says what it is — a worker
+/// hello, or a client message (which is handled and followed by more).
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "unknown".to_string());
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            let mut reader = BufReader::new(read_half);
+            let mut writer = stream;
+            let Ok(Some(first)) = read_line(&mut reader) else {
+                return;
+            };
+            let is_worker_hello = proto::parse(&first).is_ok_and(|v| {
+                v.get("type").and_then(proto::Value::as_str) == Some("hello")
+                    && v.get("role").and_then(proto::Value::as_str) == Some("worker")
+            });
+            if is_worker_hello {
+                let name = format!("tcp-{peer}");
+                worker_session(&inner, &name, &mut reader, &mut writer, false);
+            } else {
+                client_session(&inner, &first, &mut reader, &mut writer);
+            }
+        });
+    }
+}
+
+/// One client connection: handle its first line, then every further line
+/// until EOF. Submits run to completion in order; a bad line yields an
+/// error envelope, not a dropped connection.
+fn client_session<R: BufRead, W: Write>(
+    inner: &Arc<Inner>,
+    first: &str,
+    reader: &mut R,
+    writer: &mut W,
+) {
+    let mut line = first.to_string();
+    loop {
+        let reply = match ClientMsg::decode(&line) {
+            Ok(ClientMsg::Submit { id, config }) => {
+                let label = id.clone().unwrap_or_default();
+                match Inner::submit(inner, id, &config) {
+                    Ok(env) => env.encode(),
+                    Err(e) => encode_error(&label, &e),
+                }
+            }
+            Ok(ClientMsg::Cancel { id }) => {
+                let canceled = cancel_by_name(inner, &id);
+                format!(
+                    "{{\"type\":\"cancel_ack\",\"id\":{},\"canceled\":{canceled}}}",
+                    proto::jstr(&id)
+                )
+            }
+            Err(e) => encode_error("", &e),
+        };
+        if write_line(writer, &reply).is_err() {
+            return;
+        }
+        match read_line(reader) {
+            Ok(Some(next)) => line = next,
+            _ => return,
+        }
+    }
+}
+
+fn cancel_by_name(inner: &Arc<Inner>, id: &str) -> bool {
+    let mut st = inner.state.lock().expect("coordinator lock");
+    let Some(&job_id) = st.named.get(id) else {
+        return false;
+    };
+    let Some(job) = st.jobs.get_mut(&job_id) else {
+        return false;
+    };
+    if job.done.is_some() {
+        return false;
+    }
+    let key = job.key;
+    job.done = Some(Err(format!("job '{id}' canceled")));
+    st.inflight.remove(&key);
+    st.queue.retain(|l| l.job != job_id);
+    inner.done.notify_all();
+    true
+}
+
+// ---------------------------------------------------------------------------
+// CLI entry points
+// ---------------------------------------------------------------------------
+
+/// `rh-cli serve`: start the coordinator, then serve clients — over TCP
+/// when `--listen` is given (this call then parks forever), else jsonl on
+/// stdin with envelopes on stdout.
+pub fn run_serve(opts: ServeOptions) -> Result<(), String> {
+    let listening = opts.listen.is_some();
+    let coordinator = Coordinator::start(opts)?;
+    if listening {
+        let addr = coordinator.local_addr().expect("listen mode binds");
+        eprintln!("rh-serve: listening on {addr}");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    let mut reader = stdin.lock();
+    while let Some(line) = read_line(&mut reader).map_err(|e| format!("stdin: {e}"))? {
+        let reply = match ClientMsg::decode(&line) {
+            Ok(ClientMsg::Submit { id, config }) => {
+                let label = id.clone().unwrap_or_default();
+                match coordinator.submit(id, &config) {
+                    Ok(env) => env.encode(),
+                    Err(e) => encode_error(&label, &e),
+                }
+            }
+            Ok(ClientMsg::Cancel { id }) => {
+                let canceled = coordinator.cancel(&id);
+                format!(
+                    "{{\"type\":\"cancel_ack\",\"id\":{},\"canceled\":{canceled}}}",
+                    proto::jstr(&id)
+                )
+            }
+            Err(e) => encode_error("", &e),
+        };
+        write_line(&mut stdout, &reply).map_err(|e| format!("stdout: {e}"))?;
+    }
+    coordinator.shutdown();
+    Ok(())
+}
+
+/// Parsed `rh-cli submit` options (a thin TCP client for CI and scripts).
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    pub connect: String,
+}
+
+/// `rh-cli submit`: read config lines from stdin, send each to the
+/// coordinator at `--connect`, print each returned **document** verbatim on
+/// stdout (so output byte-diffs directly against `rh-cli sweep`) with the
+/// envelope metadata on stderr. Errors exit nonzero.
+pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
+    let stream = TcpStream::connect(&opts.connect)
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = stream;
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut stdout = std::io::stdout().lock();
+    while let Some(line) = read_line(&mut input).map_err(|e| format!("stdin: {e}"))? {
+        write_line(&mut writer, &line).map_err(|e| format!("send: {e}"))?;
+        let reply = read_line(&mut reader)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("coordinator closed the connection")?;
+        let env = ResultEnvelope::decode(&reply)?;
+        eprintln!(
+            "rh-submit: id={} hash={:#018x} seed={} cached={} coalesced={} cache_hits={} \
+             executed={} checkpointed={} workers={}",
+            env.id,
+            env.config_hash,
+            env.seed,
+            env.served_from_cache,
+            env.coalesced,
+            env.cache_hits,
+            env.executed_cells,
+            env.checkpoint_cells,
+            env.workers
+                .iter()
+                .map(|w| format!("{}:{}({})", w.worker, w.kernel, w.cells))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        // Document plus the trailing newline `rh-cli sweep` prints, so the
+        // two outputs diff byte-for-byte.
+        stdout
+            .write_all(env.document.as_bytes())
+            .and_then(|()| stdout.write_all(b"\n"))
+            .and_then(|()| stdout.flush())
+            .map_err(|e| format!("stdout: {e}"))?;
+    }
+    Ok(())
+}

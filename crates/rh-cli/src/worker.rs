@@ -1,0 +1,342 @@
+//! `rh-cli worker` — the execution half of the distributed sweep service.
+//!
+//! A worker is deliberately dumb: it connects to a coordinator (over the
+//! stdio pipes the coordinator spawned it with, or a TCP stream when
+//! started with `--connect`), announces itself with a `hello` line, and
+//! then serves shard leases one at a time. Each lease carries the
+//! *normalized config plus cell indices* — the worker re-expands
+//! [`SweepPlan::from_config`] locally (the plan is a pure function of the
+//! config, seeds included), slices out the leased cells, and executes them
+//! through the very same [`crate::exec`] machinery the in-process sweep
+//! uses. Per-cell results stream back as they complete (bit-exact: floats
+//! travel as IEEE bit patterns), so the coordinator can merge and
+//! checkpoint incrementally and a dying worker loses at most the cell it
+//! was computing.
+//!
+//! Kernel selection composes the same way it does everywhere else: the
+//! lease carries the coordinator's `--kernel` request, the worker resolves
+//! it against its own CPU, and its own `RH_FORCE_SCALAR` environment wins
+//! over any request ([`rh_core::KernelChoice::resolve`]). The resolved name
+//! is reported back in the `shard_done` line, so the merged report can
+//! record what each worker actually ran.
+//!
+//! Fault injection: `--exit-after-cells N` makes the worker drop its
+//! connection (by returning from the loop, which exits the process) after
+//! streaming its `N`-th cell — mid-shard, with no `shard_done`. That is
+//! exactly what a crash looks like from the coordinator's side, but
+//! deterministic, which is what the reassignment tests need.
+
+use crate::exec::{build_table_cache, Worker as CellRunner};
+use crate::plan::SweepPlan;
+use crate::proto::{read_line, write_line, FromWorker, ShardList, ToWorker};
+use rh_core::KernelChoice;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Parsed `rh-cli worker` options.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Coordinator address to attach to over TCP; `None` means the worker
+    /// was spawned by a local coordinator and speaks over stdio.
+    pub connect: Option<String>,
+    /// Fault injection: drop the connection after this many cells.
+    pub exit_after_cells: Option<u64>,
+}
+
+/// Entry point for `rh-cli worker`.
+pub fn run_worker(opts: &WorkerOptions) -> Result<(), String> {
+    match &opts.connect {
+        Some(addr) => {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| format!("worker: cannot connect to {addr}: {e}"))?;
+            let reader = BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| format!("worker: clone stream: {e}"))?,
+            );
+            worker_loop(reader, stream, opts.exit_after_cells)
+        }
+        None => {
+            let stdin = std::io::stdin().lock();
+            let stdout = std::io::stdout().lock();
+            worker_loop(stdin, stdout, opts.exit_after_cells)
+        }
+    }
+}
+
+/// The worker protocol loop over any line-oriented transport. Returns when
+/// the coordinator says `shutdown`, closes the connection, or — fault
+/// injection — the cell budget runs out mid-shard.
+pub fn worker_loop<R: BufRead, W: Write>(
+    mut reader: R,
+    mut writer: W,
+    mut fuel: Option<u64>,
+) -> Result<(), String> {
+    // What `--kernel auto` resolves to on this host/environment — recorded
+    // by the coordinator per worker. Individual leases re-resolve their own
+    // request.
+    let default_kernel = KernelChoice::Auto.resolve()?;
+    let hello = FromWorker::Hello {
+        kernel: default_kernel.name().to_string(),
+        pid: u64::from(std::process::id()),
+    };
+    write_line(&mut writer, &hello.encode()).map_err(|e| format!("worker: hello: {e}"))?;
+
+    loop {
+        let line = match read_line(&mut reader) {
+            Ok(Some(line)) => line,
+            // Coordinator hung up: a clean exit, not an error.
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(format!("worker: read: {e}")),
+        };
+        match ToWorker::decode(&line)? {
+            ToWorker::Shutdown => return Ok(()),
+            ToWorker::Shard {
+                job,
+                shard,
+                list,
+                indices,
+                kernel,
+                config,
+            } => {
+                if !run_shard(
+                    &mut writer,
+                    job,
+                    shard,
+                    list,
+                    &indices,
+                    kernel,
+                    &config,
+                    &mut fuel,
+                )? {
+                    // Fuel exhausted mid-shard: die by dropping the
+                    // connection, exactly like a crash.
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Execute one lease, streaming results. Returns `Ok(false)` when the fault
+/// budget ran out (the caller drops the connection), `Ok(true)` after a
+/// clean `shard_done` or `fail`.
+#[allow(clippy::too_many_arguments)]
+fn run_shard<W: Write>(
+    writer: &mut W,
+    job: u64,
+    shard: u64,
+    list: ShardList,
+    indices: &[usize],
+    kernel: KernelChoice,
+    config: &crate::sweep::SweepConfig,
+    fuel: &mut Option<u64>,
+) -> Result<bool, String> {
+    let fail = |writer: &mut W, message: String| -> Result<bool, String> {
+        let msg = FromWorker::Fail {
+            job,
+            shard,
+            message,
+        };
+        write_line(writer, &msg.encode()).map_err(|e| format!("worker: write: {e}"))?;
+        Ok(true)
+    };
+
+    let resolved = match kernel.resolve() {
+        Ok(k) => k,
+        Err(e) => return fail(writer, e),
+    };
+    let plan = match SweepPlan::from_config(config) {
+        Ok(p) => p,
+        Err(e) => return fail(writer, e),
+    };
+    let cells = match list {
+        ShardList::Grid => &plan.grid,
+        ShardList::Para => &plan.para_sweep,
+    };
+    if let Some(&bad) = indices.iter().find(|&&i| i >= cells.len()) {
+        return fail(
+            writer,
+            format!(
+                "shard index {bad} out of bounds for {} list of {} cells",
+                list.name(),
+                cells.len()
+            ),
+        );
+    }
+
+    let leased: Vec<_> = indices.iter().map(|&i| cells[i].clone()).collect();
+    let tables = build_table_cache(&plan, &leased);
+    let mut runner = CellRunner::with_kernel(resolved);
+    for (&index, cell) in indices.iter().zip(&leased) {
+        let result = runner.run_cell(&plan, cell, &tables);
+        let msg = FromWorker::Cell {
+            job,
+            shard,
+            index,
+            kernel: resolved.name().to_string(),
+            result,
+        };
+        write_line(writer, &msg.encode()).map_err(|e| format!("worker: write: {e}"))?;
+        if let Some(budget) = fuel.as_mut() {
+            *budget = budget.saturating_sub(1);
+            if *budget == 0 {
+                return Ok(false);
+            }
+        }
+    }
+    let done = FromWorker::ShardDone {
+        job,
+        shard,
+        kernel: resolved.name().to_string(),
+    };
+    write_line(writer, &done.encode()).map_err(|e| format!("worker: write: {e}"))?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto;
+    use crate::sweep::SweepConfig;
+    use std::io::Cursor;
+
+    fn small_config() -> SweepConfig {
+        SweepConfig {
+            activations: 2_000,
+            hc_firsts: vec![500],
+            sides: vec![2],
+            para_probabilities: vec![0.0],
+            geometry: rh_core::Geometry::tiny(64),
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Drive the loop in-memory: feed scripted coordinator lines, collect
+    /// the worker's output lines.
+    fn drive(script: &[String], fuel: Option<u64>) -> Vec<FromWorker> {
+        let input = script.join("\n") + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        worker_loop(Cursor::new(input.into_bytes()), &mut out, fuel).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| FromWorker::decode(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn worker_says_hello_and_obeys_shutdown() {
+        let msgs = drive(&[ToWorker::Shutdown.encode()], None);
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(&msgs[0], FromWorker::Hello { .. }));
+    }
+
+    #[test]
+    fn worker_executes_a_shard_bit_exactly() {
+        let cfg = small_config();
+        let plan = SweepPlan::from_config(&cfg).unwrap();
+        let reference = crate::exec::execute_cells(&plan, &plan.grid, 1);
+        let lease = ToWorker::Shard {
+            job: 1,
+            shard: 0,
+            list: ShardList::Grid,
+            indices: (0..plan.grid.len()).collect(),
+            kernel: KernelChoice::Auto,
+            config: cfg,
+        };
+        let msgs = drive(&[lease.encode(), ToWorker::Shutdown.encode()], None);
+        let cells: Vec<_> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                FromWorker::Cell { index, result, .. } => Some((*index, result.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cells.len(), plan.grid.len());
+        for (index, result) in &cells {
+            let want = &reference[*index];
+            assert_eq!(result.total_flips, want.total_flips);
+            assert_eq!(
+                result.flips_per_mact.to_bits(),
+                want.flips_per_mact.to_bits(),
+                "cell {index} must cross the codec bit-exactly"
+            );
+        }
+        assert!(
+            msgs.iter().any(|m| matches!(
+                m,
+                FromWorker::ShardDone {
+                    job: 1,
+                    shard: 0,
+                    ..
+                }
+            )),
+            "shard must be closed by shard_done"
+        );
+    }
+
+    #[test]
+    fn fuel_exhaustion_drops_connection_mid_shard() {
+        let cfg = small_config();
+        let plan = SweepPlan::from_config(&cfg).unwrap();
+        assert!(plan.grid.len() > 3);
+        let lease = ToWorker::Shard {
+            job: 1,
+            shard: 0,
+            list: ShardList::Grid,
+            indices: (0..plan.grid.len()).collect(),
+            kernel: KernelChoice::Auto,
+            config: cfg,
+        };
+        let msgs = drive(&[lease.encode(), ToWorker::Shutdown.encode()], Some(3));
+        let cells = msgs
+            .iter()
+            .filter(|m| matches!(m, FromWorker::Cell { .. }))
+            .count();
+        assert_eq!(cells, 3, "exactly the fuel budget of cells must stream");
+        assert!(
+            !msgs
+                .iter()
+                .any(|m| matches!(m, FromWorker::ShardDone { .. })),
+            "a crashed shard must not be acknowledged"
+        );
+    }
+
+    #[test]
+    fn bad_lease_fails_cleanly_instead_of_crashing() {
+        let lease = ToWorker::Shard {
+            job: 9,
+            shard: 2,
+            list: ShardList::Grid,
+            indices: vec![usize::MAX],
+            kernel: KernelChoice::Auto,
+            config: small_config(),
+        };
+        let msgs = drive(&[lease.encode(), ToWorker::Shutdown.encode()], None);
+        match &msgs[1] {
+            FromWorker::Fail {
+                job: 9,
+                shard: 2,
+                message,
+            } => assert!(message.contains("out of bounds"), "{message}"),
+            other => panic!("expected fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_reports_the_host_default_kernel() {
+        let msgs = drive(&[ToWorker::Shutdown.encode()], None);
+        let FromWorker::Hello { kernel, pid } = &msgs[0] else {
+            panic!("first line must be hello");
+        };
+        assert_eq!(*kernel, KernelChoice::Auto.resolve().unwrap().name());
+        assert_eq!(*pid, u64::from(std::process::id()));
+        // And the hello line is valid jsonl for the coordinator's parser.
+        let reparsed = proto::parse(&msgs[0].encode()).unwrap();
+        assert_eq!(
+            reparsed.get("role").and_then(proto::Value::as_str),
+            Some("worker")
+        );
+    }
+}
