@@ -5,6 +5,7 @@
 //! is shared with programmatic callers via [`SweepConfig::validate`].
 
 use crate::bench::{BenchOptions, SaturationOptions};
+use crate::faults::FaultPlan;
 use crate::serve::{ServeOptions, SubmitOptions};
 use crate::sweep::SweepConfig;
 use crate::worker::WorkerOptions;
@@ -21,9 +22,13 @@ USAGE:
                  [--kernel <K>] [--min-cells-per-sec <RATE>]
     rh-cli serve [--workers <N>] [--listen <ADDR>] [--kernel <K>]
                  [--cache-capacity <N>] [--checkpoint-dir <DIR>]
-                 [--shard-cells <N>]
+                 [--shard-cells <N>] [--cache-dir <DIR>] [--config-epoch <N>]
+                 [--fallback-after-ms <MS>] [--speculate-after-ms <MS>]
+                 [--fault-plan <PLAN>]
     rh-cli worker [--connect <ADDR>] [--exit-after-cells <N>]
-    rh-cli submit --connect <ADDR>
+                  [--fault-plan <PLAN>] [--config-epoch <N>]
+                  [--retry <N>] [--backoff-ms <MS>]
+    rh-cli submit --connect <ADDR> [--timeout <SECS>]
 
 SWEEP OPTIONS:
     --seed <N>              RNG seed for device + mitigations (default 0xC0FFEE)
@@ -91,16 +96,50 @@ SERVE OPTIONS:
     --cache-capacity <N>    result-cache size in documents (default 128)
     --checkpoint-dir <DIR>  append per-cell checkpoints; resubmits resume
     --shard-cells <N>       max cells per shard lease (default 16)
+    --cache-dir <DIR>       persistent result cache: completed documents
+                            survive coordinator restarts as checksummed
+                            jsonl segments; corrupt records are skipped
+                            and counted, never served
+    --config-epoch <N>      config generation; worker hellos announcing a
+                            different epoch are rejected (default 0)
+    --fallback-after-ms <MS> graceful degradation: a job stranded this long
+                            with no live worker is executed in-process by
+                            the submitting thread (default: off, fail fast)
+    --speculate-after-ms <MS> floor of the straggler deadline; a lease with
+                            no progress past max(floor, 16x the EWMA cell
+                            time) is re-leased to another worker and the
+                            duplicate results asserted bit-identical
+                            (default 10000; 0 disables speculation)
+    --fault-plan <PLAN>     coordinator-side fault injection; the useful
+                            directive here is corrupt-cache-record=N
+                            (clobber one byte of persistent record N before
+                            opening the cache)
 
 WORKER OPTIONS:
     --connect <ADDR>        attach to a coordinator over TCP (default:
                             speak the jsonl protocol over stdio, as when
                             spawned by serve)
     --exit-after-cells <N>  fault injection: drop the connection after N
-                            cells (for reassignment tests)
+                            cells (for reassignment tests); alias for the
+                            fault-plan directive crash-after-cells=N
+    --fault-plan <PLAN>     deterministic fault schedule, comma-separated
+                            key=value directives: crash-after-cells=N,
+                            stall-after-cells=N, stall-ms=MS, drop-line=N,
+                            garble-line=N, delay-connect-ms=MS, seed=S
+                            (see docs/ARCHITECTURE.md, failure model)
+    --config-epoch <N>      config generation announced in the hello; must
+                            match the coordinator's (default 0)
+    --retry <N>             reconnect attempts after a failed connect or a
+                            dropped connection, with seeded exponential
+                            backoff; a coordinator 'reject' is never
+                            retried (default 0)
+    --backoff-ms <MS>       base of the reconnect backoff (default 200)
 
 SUBMIT OPTIONS:
     --connect <ADDR>        coordinator address (required)
+    --timeout <SECS>        bound the connect and each response wait; on
+                            expiry submit exits nonzero naming the deadline
+                            (default: wait forever)
 
 submit reads jsonl sweep configs from stdin ('{}' is the default sweep),
 sends each to the coordinator, prints each returned merged document
@@ -232,7 +271,7 @@ fn parse_saturation_args(args: &[String]) -> Result<BenchInvocation, String> {
 #[derive(Debug, Clone)]
 pub enum ServeInvocation {
     Help,
-    Serve(ServeOptions),
+    Serve(Box<ServeOptions>),
 }
 
 /// Parse the arguments following the `serve` subcommand.
@@ -277,26 +316,56 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeInvocation, String> {
                     return Err("--shard-cells must be at least 1".to_string());
                 }
             }
+            "--cache-dir" => {
+                opts.cache_dir = Some(value(&mut i, "--cache-dir")?.into());
+            }
+            "--config-epoch" => {
+                let v = value(&mut i, "--config-epoch")?;
+                opts.config_epoch = v
+                    .parse()
+                    .map_err(|_| format!("invalid --config-epoch '{v}'"))?;
+            }
+            "--fallback-after-ms" => {
+                let v = value(&mut i, "--fallback-after-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --fallback-after-ms '{v}'"))?;
+                opts.fallback_after = Some(std::time::Duration::from_millis(ms));
+            }
+            "--speculate-after-ms" => {
+                let v = value(&mut i, "--speculate-after-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --speculate-after-ms '{v}'"))?;
+                // 0 disables speculation outright rather than meaning
+                // "speculate instantly" — an instant deadline would
+                // duplicate every lease.
+                opts.speculate_after = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--fault-plan" => {
+                opts.fault_plan = FaultPlan::parse(&value(&mut i, "--fault-plan")?)?;
+            }
             "-h" | "--help" => return Ok(ServeInvocation::Help),
             other => return Err(format!("unknown serve option '{other}'")),
         }
         i += 1;
     }
-    if opts.workers == 0 && opts.listen.is_none() {
+    if opts.workers == 0 && opts.listen.is_none() && opts.fallback_after.is_none() {
         return Err(
             "a coordinator with --workers 0 and no --listen could never execute anything \
-             (give it local workers, or a listener for TCP workers to attach to)"
+             (give it local workers, a listener for TCP workers to attach to, or \
+             --fallback-after-ms for in-process execution)"
                 .to_string(),
         );
     }
-    Ok(ServeInvocation::Serve(opts))
+    Ok(ServeInvocation::Serve(Box::new(opts)))
 }
 
 /// Outcome of parsing the arguments after `worker`.
 #[derive(Debug, Clone)]
 pub enum WorkerInvocation {
     Help,
-    Worker(WorkerOptions),
+    Worker(Box<WorkerOptions>),
 }
 
 /// Parse the arguments following the `worker` subcommand.
@@ -322,12 +391,34 @@ pub fn parse_worker_args(args: &[String]) -> Result<WorkerInvocation, String> {
                 }
                 opts.exit_after_cells = Some(n);
             }
+            "--fault-plan" => {
+                opts.fault_plan = FaultPlan::parse(&value(&mut i, "--fault-plan")?)?;
+            }
+            "--config-epoch" => {
+                let v = value(&mut i, "--config-epoch")?;
+                opts.config_epoch = v
+                    .parse()
+                    .map_err(|_| format!("invalid --config-epoch '{v}'"))?;
+            }
+            "--retry" => {
+                let v = value(&mut i, "--retry")?;
+                opts.retries = v.parse().map_err(|_| format!("invalid --retry '{v}'"))?;
+            }
+            "--backoff-ms" => {
+                let v = value(&mut i, "--backoff-ms")?;
+                opts.backoff_base_ms = v
+                    .parse()
+                    .map_err(|_| format!("invalid --backoff-ms '{v}'"))?;
+                if opts.backoff_base_ms == 0 {
+                    return Err("--backoff-ms must be at least 1".to_string());
+                }
+            }
             "-h" | "--help" => return Ok(WorkerInvocation::Help),
             other => return Err(format!("unknown worker option '{other}'")),
         }
         i += 1;
     }
-    Ok(WorkerInvocation::Worker(opts))
+    Ok(WorkerInvocation::Worker(Box::new(opts)))
 }
 
 /// Outcome of parsing the arguments after `submit`.
@@ -340,6 +431,7 @@ pub enum SubmitInvocation {
 /// Parse the arguments following the `submit` subcommand.
 pub fn parse_submit_args(args: &[String]) -> Result<SubmitInvocation, String> {
     let mut connect = None;
+    let mut timeout = None;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -350,13 +442,21 @@ pub fn parse_submit_args(args: &[String]) -> Result<SubmitInvocation, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--connect" => connect = Some(value(&mut i, "--connect")?),
+            "--timeout" => {
+                let v = value(&mut i, "--timeout")?;
+                let secs: u64 = v.parse().map_err(|_| format!("invalid --timeout '{v}'"))?;
+                if secs == 0 {
+                    return Err("--timeout must be at least 1 second".to_string());
+                }
+                timeout = Some(std::time::Duration::from_secs(secs));
+            }
             "-h" | "--help" => return Ok(SubmitInvocation::Help),
             other => return Err(format!("unknown submit option '{other}'")),
         }
         i += 1;
     }
     let connect = connect.ok_or("submit requires --connect <ADDR>")?;
-    Ok(SubmitInvocation::Submit(SubmitOptions { connect }))
+    Ok(SubmitInvocation::Submit(SubmitOptions { connect, timeout }))
 }
 
 /// Parse a comma-separated list, skipping empty items (so trailing commas
@@ -876,6 +976,113 @@ mod tests {
             parse_submit_args(&["--help".to_string()]),
             Ok(SubmitInvocation::Help)
         ));
+    }
+
+    #[test]
+    fn chaos_flags_parse_and_reject() {
+        let owned: Vec<String> = [
+            "--cache-dir",
+            "/tmp/rhcache",
+            "--config-epoch",
+            "7",
+            "--fallback-after-ms",
+            "250",
+            "--speculate-after-ms",
+            "400",
+            "--fault-plan",
+            "corrupt-cache-record=2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_serve_args(&owned).unwrap() {
+            ServeInvocation::Serve(o) => {
+                assert_eq!(
+                    o.cache_dir.as_deref(),
+                    Some(std::path::Path::new("/tmp/rhcache"))
+                );
+                assert_eq!(o.config_epoch, 7);
+                assert_eq!(
+                    o.fallback_after,
+                    Some(std::time::Duration::from_millis(250))
+                );
+                assert_eq!(
+                    o.speculate_after,
+                    Some(std::time::Duration::from_millis(400))
+                );
+                assert_eq!(o.fault_plan.corrupt_cache_records(), &[2]);
+            }
+            ServeInvocation::Help => panic!("unexpected help"),
+        }
+        // --speculate-after-ms 0 disables speculation entirely.
+        let owned: Vec<String> = ["--speculate-after-ms", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_serve_args(&owned).unwrap() {
+            ServeInvocation::Serve(o) => assert_eq!(o.speculate_after, None),
+            ServeInvocation::Help => panic!("unexpected help"),
+        }
+        // --fallback-after-ms makes a workerless, listenerless coordinator
+        // viable (it degrades to in-process execution).
+        let owned: Vec<String> = ["--workers", "0", "--fallback-after-ms", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_serve_args(&owned).is_ok());
+        // A malformed fault plan is rejected at parse time with the bad
+        // directive named.
+        let owned: Vec<String> = ["--fault-plan", "explode-now=1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = parse_serve_args(&owned).unwrap_err();
+        assert!(err.contains("explode-now"), "got '{err}'");
+
+        let owned: Vec<String> = [
+            "--connect",
+            "127.0.0.1:9",
+            "--fault-plan",
+            "crash-after-cells=3,drop-line=2",
+            "--config-epoch",
+            "9",
+            "--retry",
+            "4",
+            "--backoff-ms",
+            "50",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_worker_args(&owned).unwrap() {
+            WorkerInvocation::Worker(o) => {
+                assert_eq!(o.fault_plan.crash_pending_at(), Some(3));
+                assert_eq!(o.config_epoch, 9);
+                assert_eq!(o.retries, 4);
+                assert_eq!(o.backoff_base_ms, 50);
+            }
+            WorkerInvocation::Help => panic!("unexpected help"),
+        }
+        assert!(parse_worker_args(&["--backoff-ms".into(), "0".into()]).is_err());
+        assert!(parse_worker_args(&["--fault-plan".into(), "drop-line=0".into()]).is_err());
+
+        let owned: Vec<String> = ["--connect", "127.0.0.1:9", "--timeout", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_submit_args(&owned).unwrap() {
+            SubmitInvocation::Submit(o) => {
+                assert_eq!(o.timeout, Some(std::time::Duration::from_secs(5)));
+            }
+            SubmitInvocation::Help => panic!("unexpected help"),
+        }
+        assert!(parse_submit_args(&[
+            "--connect".into(),
+            "127.0.0.1:9".into(),
+            "--timeout".into(),
+            "0".into()
+        ])
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Deterministic fault injection for the distributed sweep service.
+//!
+//! Chaos testing is only useful when a failure reproduces: a flaky "kill a
+//! worker at some point" harness proves nothing when the bytes diverge once
+//! in fifty runs. A [`FaultPlan`] is therefore a *parsed, seeded schedule*
+//! of faults — every trigger point is a deterministic function of the spec
+//! string, so `--fault-plan crash-after-cells=5` crashes the worker at the
+//! same protocol instant on every run, and the chaos suite in CI is a real
+//! regression test instead of a dice roll.
+//!
+//! The spec is a comma-separated list of `key=value` directives:
+//!
+//! | directive | side | effect |
+//! |---|---|---|
+//! | `seed=N` | both | seeds byte/offset choices (garbling, cache corruption) |
+//! | `crash-after-cells=N` | worker | drop the connection after streaming the N-th cell |
+//! | `stall-after-cells=N` | worker | sleep `stall-ms` once, after the N-th cell |
+//! | `stall-ms=MS` | worker | duration of the injected stall (default 1000) |
+//! | `drop-line=N` | worker | silently drop the N-th outgoing protocol line |
+//! | `garble-line=N` | worker | corrupt the N-th outgoing protocol line |
+//! | `delay-connect-ms=MS` | worker | sleep before connecting / greeting |
+//! | `corrupt-cache-record=N` | coordinator | flip a byte in the N-th persistent-cache record at startup |
+//!
+//! Line counts cover the worker's *protocol* lines (hello, cells,
+//! shard_done, fail) in stream order; heartbeats ride a side thread and are
+//! deliberately excluded so the numbering stays deterministic. Garbled
+//! lines are rewritten to start with `#`, which can never begin valid JSON
+//! — a garble must always look like corruption to the peer, never decode as
+//! a *different* valid message (that would silently poison the merge
+//! instead of exercising the recovery path).
+
+use rh_core::{derive_seed, SplitMix64};
+use std::time::Duration;
+
+/// Seed used when the spec does not carry an explicit `seed=` directive.
+const DEFAULT_SEED: u64 = 0xFA17_F1A6;
+
+/// Default injected stall duration when `stall-ms` is omitted.
+const DEFAULT_STALL_MS: u64 = 1_000;
+
+/// What to do after a cell result has been streamed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellFate {
+    /// No fault scheduled here.
+    Continue,
+    /// Sleep this long, then continue — a straggler, not a corpse.
+    Stall(Duration),
+    /// Drop the connection mid-shard, exactly like a crash.
+    Crash,
+}
+
+/// What to do with an outgoing protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineFate {
+    /// Send the line unmodified.
+    Send,
+    /// Pretend the line was lost in transit.
+    Drop,
+    /// Send this corrupted replacement instead.
+    Garble(String),
+}
+
+/// A parsed, seeded schedule of injectable faults. Counters live inside, so
+/// a plan is consumed by one connection; clone it to reuse the schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    crash_after_cells: Option<u64>,
+    stall_after_cells: Option<u64>,
+    stall_millis: Option<u64>,
+    drop_lines: Vec<u64>,
+    garble_lines: Vec<u64>,
+    delay_connect_millis: u64,
+    corrupt_cache_records: Vec<u64>,
+    // Runtime counters (1-based: the first cell/line is number 1).
+    cells_streamed: u64,
+    lines_written: u64,
+}
+
+impl FaultPlan {
+    /// Parse a `--fault-plan` spec string. An empty spec is an empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for directive in spec.split(',').map(str::trim).filter(|d| !d.is_empty()) {
+            let (key, value) = directive.split_once('=').ok_or_else(|| {
+                format!("fault-plan: directive '{directive}' is not of the form key=value")
+            })?;
+            let num = |what: &str| -> Result<u64, String> {
+                value.trim().parse::<u64>().map_err(|_| {
+                    format!("fault-plan: {what} wants an unsigned integer, got '{value}'")
+                })
+            };
+            match key.trim() {
+                "seed" => plan.seed = num("seed")?,
+                "crash-after-cells" => plan.crash_after_cells = Some(num("crash-after-cells")?),
+                "stall-after-cells" => plan.stall_after_cells = Some(num("stall-after-cells")?),
+                "stall-ms" => plan.stall_millis = Some(num("stall-ms")?),
+                "drop-line" => plan.drop_lines.push(num("drop-line")?),
+                "garble-line" => plan.garble_lines.push(num("garble-line")?),
+                "delay-connect-ms" => plan.delay_connect_millis = num("delay-connect-ms")?,
+                "corrupt-cache-record" => plan
+                    .corrupt_cache_records
+                    .push(num("corrupt-cache-record")?),
+                other => {
+                    return Err(format!(
+                        "fault-plan: unknown directive '{other}' (expected seed, \
+                         crash-after-cells, stall-after-cells, stall-ms, drop-line, \
+                         garble-line, delay-connect-ms, corrupt-cache-record)"
+                    ))
+                }
+            }
+        }
+        for zero in ["crash-after-cells", "stall-after-cells"] {
+            let v = match zero {
+                "crash-after-cells" => plan.crash_after_cells,
+                _ => plan.stall_after_cells,
+            };
+            if v == Some(0) {
+                return Err(format!("fault-plan: {zero} must be at least 1"));
+            }
+        }
+        if plan.drop_lines.contains(&0) || plan.garble_lines.contains(&0) {
+            return Err("fault-plan: line numbers are 1-based; 0 never fires".to_string());
+        }
+        Ok(plan)
+    }
+
+    /// True when no fault directive is scheduled (a bare `seed=` counts as
+    /// empty: it seeds nothing).
+    pub fn is_empty(&self) -> bool {
+        self.crash_after_cells.is_none()
+            && self.stall_after_cells.is_none()
+            && self.drop_lines.is_empty()
+            && self.garble_lines.is_empty()
+            && self.delay_connect_millis == 0
+            && self.corrupt_cache_records.is_empty()
+    }
+
+    /// Fold the legacy `--exit-after-cells N` knob into the plan; an
+    /// explicit `crash-after-cells` directive wins.
+    pub fn merge_exit_after_cells(&mut self, exit_after: Option<u64>) {
+        if self.crash_after_cells.is_none() {
+            self.crash_after_cells = exit_after;
+        }
+    }
+
+    /// Delay to apply before connecting / greeting the coordinator.
+    pub fn connect_delay(&self) -> Option<Duration> {
+        (self.delay_connect_millis > 0).then(|| Duration::from_millis(self.delay_connect_millis))
+    }
+
+    /// Account one streamed cell and report the scheduled fate. If a stall
+    /// and a crash share a trigger count, the stall wins — schedule them at
+    /// distinct counts to combine them.
+    pub fn on_cell(&mut self) -> CellFate {
+        self.cells_streamed += 1;
+        if self.stall_after_cells == Some(self.cells_streamed) {
+            return CellFate::Stall(Duration::from_millis(
+                self.stall_millis.unwrap_or(DEFAULT_STALL_MS),
+            ));
+        }
+        if self.crash_after_cells == Some(self.cells_streamed) {
+            return CellFate::Crash;
+        }
+        CellFate::Continue
+    }
+
+    /// The scheduled crash trigger, if any (observability for tests and for
+    /// merging the legacy `--exit-after-cells` knob).
+    pub fn crash_pending_at(&self) -> Option<u64> {
+        self.crash_after_cells
+    }
+
+    /// The plan's seed — shared with other seeded mechanisms (reconnect
+    /// backoff jitter) so one `seed=` directive pins the whole schedule.
+    pub fn seed(&self) -> u64 {
+        if self.seed == 0 {
+            DEFAULT_SEED
+        } else {
+            self.seed
+        }
+    }
+
+    /// Account one outgoing protocol line and report its fate.
+    pub fn on_line(&mut self, line: &str) -> LineFate {
+        self.lines_written += 1;
+        let n = self.lines_written;
+        if self.drop_lines.contains(&n) {
+            return LineFate::Drop;
+        }
+        if self.garble_lines.contains(&n) {
+            let mut rng = SplitMix64::new(derive_seed(self.seed, &[n]));
+            // Keep a seeded-length prefix of the original so the corruption
+            // looks like a real torn/garbled transport line, but lead with
+            // '#': no JSON document starts with it, so the peer can never
+            // mistake the garble for a different valid message.
+            let keep = if line.is_empty() {
+                0
+            } else {
+                (rng.next_u64() as usize) % line.len()
+            };
+            return LineFate::Garble(format!("#garbled#{}", &line[..keep.min(line.len())]));
+        }
+        LineFate::Send
+    }
+
+    /// 1-based indices of persistent-cache records to corrupt at startup.
+    pub fn corrupt_cache_records(&self) -> &[u64] {
+        &self.corrupt_cache_records
+    }
+
+    /// Deterministically choose the byte to clobber inside record number
+    /// `record` of length `len`, and the replacement. The replacement is
+    /// never a newline (that would *split* the record instead of corrupting
+    /// it) and never the original byte (that would be a no-op).
+    pub fn corrupt_byte_for(&self, record: u64, line: &[u8]) -> Option<(usize, u8)> {
+        if line.is_empty() {
+            return None;
+        }
+        let mut rng = SplitMix64::new(derive_seed(self.seed ^ 0xC0DE, &[record]));
+        let offset = (rng.next_u64() as usize) % line.len();
+        let replacement = if line[offset] == b'#' { b'~' } else { b'#' };
+        Some((offset, replacement))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_an_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn full_spec_round_trips_every_directive() {
+        let plan = FaultPlan::parse(
+            "seed=7, crash-after-cells=5, stall-after-cells=2, stall-ms=250, \
+             drop-line=3, garble-line=4, delay-connect-ms=10, corrupt-cache-record=1",
+        )
+        .unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.connect_delay(), Some(Duration::from_millis(10)));
+        assert_eq!(plan.corrupt_cache_records(), &[1]);
+    }
+
+    #[test]
+    fn unknown_and_malformed_directives_are_rejected_with_names() {
+        let err = FaultPlan::parse("explode=1").unwrap_err();
+        assert!(err.contains("unknown directive 'explode'"), "{err}");
+        let err = FaultPlan::parse("crash-after-cells").unwrap_err();
+        assert!(err.contains("key=value"), "{err}");
+        let err = FaultPlan::parse("stall-ms=soon").unwrap_err();
+        assert!(err.contains("unsigned integer"), "{err}");
+        let err = FaultPlan::parse("crash-after-cells=0").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = FaultPlan::parse("drop-line=0").unwrap_err();
+        assert!(err.contains("1-based"), "{err}");
+    }
+
+    #[test]
+    fn cell_schedule_fires_at_exact_counts() {
+        let mut plan =
+            FaultPlan::parse("crash-after-cells=3,stall-after-cells=2,stall-ms=5").unwrap();
+        assert_eq!(plan.on_cell(), CellFate::Continue);
+        assert_eq!(plan.on_cell(), CellFate::Stall(Duration::from_millis(5)));
+        assert_eq!(plan.on_cell(), CellFate::Crash);
+        assert_eq!(plan.on_cell(), CellFate::Continue);
+    }
+
+    #[test]
+    fn exit_after_cells_merges_but_never_overrides() {
+        let mut plan = FaultPlan::default();
+        plan.merge_exit_after_cells(Some(4));
+        assert_eq!(plan.crash_pending_at(), Some(4));
+        let mut plan = FaultPlan::parse("crash-after-cells=2").unwrap();
+        plan.merge_exit_after_cells(Some(9));
+        assert_eq!(plan.crash_pending_at(), Some(2));
+    }
+
+    #[test]
+    fn line_schedule_drops_and_garbles_deterministically() {
+        let spec = "seed=42,drop-line=2,garble-line=3";
+        let mut a = FaultPlan::parse(spec).unwrap();
+        let mut b = FaultPlan::parse(spec).unwrap();
+        let line = r#"{"type":"cell","job":1}"#;
+        assert_eq!(a.on_line(line), LineFate::Send);
+        assert_eq!(a.on_line(line), LineFate::Drop);
+        let LineFate::Garble(garbled) = a.on_line(line) else {
+            panic!("third line must garble");
+        };
+        assert!(garbled.starts_with('#'), "garble must never parse as JSON");
+        // Same spec, same stream → byte-identical garbling.
+        b.on_line(line);
+        b.on_line(line);
+        assert_eq!(b.on_line(line), LineFate::Garble(garbled));
+    }
+
+    #[test]
+    fn corrupt_byte_choice_is_seeded_and_never_a_newline_or_noop() {
+        let plan = FaultPlan::parse("seed=9,corrupt-cache-record=1").unwrap();
+        let line = br#"{"hash":1,"seed":2,"sum":3,"document":"x"}"#;
+        let (offset, byte) = plan.corrupt_byte_for(1, line).unwrap();
+        assert!(offset < line.len());
+        assert_ne!(byte, b'\n');
+        assert_ne!(byte, line[offset]);
+        assert_eq!(plan.corrupt_byte_for(1, line), Some((offset, byte)));
+        assert_eq!(plan.corrupt_byte_for(1, b""), None);
+    }
+}

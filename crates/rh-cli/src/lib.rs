@@ -16,12 +16,19 @@
 //! path against the retained pre-optimization path (eager device, map-based
 //! counter mitigations, unbatched dyn dispatch) over a pinned reference
 //! sweep and emits `BENCH_6.json`.
+//!
+//! The distributed layer ([`serve`], [`worker`], [`proto`], [`cache`]) runs
+//! the same pipeline across processes and hosts, hardened by [`faults`] — a
+//! deterministic, seeded fault-injection plan (`--fault-plan`) that makes
+//! every chaos scenario (crashes, stalls, lossy links, corrupt cache
+//! segments) a reproducible test of the byte-identity invariant.
 
 pub mod bench;
 pub mod cache;
 pub mod cli;
 pub mod engine;
 pub mod exec;
+pub mod faults;
 pub mod json;
 pub mod plan;
 pub mod proto;
@@ -30,10 +37,11 @@ pub mod sweep;
 pub mod worker;
 
 pub use bench::{run_bench, BenchOptions, BenchReport};
-pub use cache::ResultCache;
+pub use cache::{PersistentCache, ResultCache};
 pub use engine::{run_experiment, RunResult};
+pub use faults::FaultPlan;
 pub use plan::{CellSeeds, CellSpec, SweepPlan};
-pub use proto::{config_hash, config_key, ResultEnvelope};
+pub use proto::{config_hash, config_key, ResultEnvelope, PROTO_VERSION};
 pub use serve::{run_serve, run_submit, Coordinator, ServeOptions, SubmitOptions};
 pub use sweep::{run_sweep, run_sweep_with_kernel, SweepConfig, SweepOutput};
 pub use worker::{run_worker, WorkerOptions};

@@ -108,7 +108,7 @@ fn main() -> ExitCode {
                 print!("{USAGE}");
                 ExitCode::SUCCESS
             }
-            Ok(ServeInvocation::Serve(opts)) => match run_serve(opts) {
+            Ok(ServeInvocation::Serve(opts)) => match run_serve(*opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -47,6 +47,12 @@ use rh_core::{DataPattern, KernelChoice};
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
 
+/// Version of this wire protocol, carried in every worker hello. The
+/// coordinator rejects a mismatched worker *before* leasing it anything: a
+/// version-skewed worker must fail loudly at attach time, never merge
+/// garbage. Bump on any incompatible message change.
+pub const PROTO_VERSION: u64 = 1;
+
 // ---------------------------------------------------------------------------
 // JSON value model + parser
 // ---------------------------------------------------------------------------
@@ -505,7 +511,9 @@ pub fn config_to_json(cfg: &SweepConfig) -> String {
     )
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a over raw bytes — the workspace's one content fingerprint, shared
+/// by the config hash, checkpoint records, and persistent-cache records.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -669,6 +677,10 @@ pub enum ToWorker {
         kernel: KernelChoice,
         config: SweepConfig,
     },
+    /// The coordinator refuses this worker (protocol-version or
+    /// config-epoch mismatch). Terminal: the worker must not retry the same
+    /// coordinator — the skew will not heal on its own.
+    Reject { reason: String },
     /// Drain and exit.
     Shutdown,
 }
@@ -694,6 +706,9 @@ impl ToWorker {
                     config_to_json(config),
                 )
             }
+            Self::Reject { reason } => {
+                format!("{{\"type\":\"reject\",\"reason\":{}}}", jstr(reason))
+            }
             Self::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
         }
     }
@@ -714,6 +729,9 @@ impl ToWorker {
                     .collect::<Result<_, _>>()?,
                 config: config_from_value(field(&v, "config")?)?,
             }),
+            "reject" => Ok(Self::Reject {
+                reason: field_str(&v, "reason")?,
+            }),
             "shutdown" => Ok(Self::Shutdown),
             other => Err(format!("unknown coordinator message type '{other}'")),
         }
@@ -724,9 +742,26 @@ impl ToWorker {
 #[derive(Debug, Clone)]
 pub enum FromWorker {
     /// First line on every worker connection: identifies the role (so one
-    /// TCP listener serves clients and workers) and reports the kernel the
-    /// worker's default choice resolves to on its CPU/environment.
-    Hello { kernel: String, pid: u64 },
+    /// TCP listener serves clients and workers), reports the kernel the
+    /// worker's default choice resolves to on its CPU/environment, and
+    /// carries the handshake the coordinator vets before leasing —
+    /// [`PROTO_VERSION`] plus the operator-assigned `config_epoch`
+    /// (fleet-rollout generation; a worker started against yesterday's
+    /// config generation is cleanly rejected, not silently merged).
+    Hello {
+        kernel: String,
+        pid: u64,
+        /// Wire-protocol version; pre-versioning workers decode as 0.
+        proto_version: u64,
+        /// Operator-assigned config generation; must equal the
+        /// coordinator's `--config-epoch`.
+        config_epoch: u64,
+    },
+    /// Liveness pulse emitted from a side thread while a shard executes, so
+    /// the coordinator can tell a *computing* worker from a dead socket even
+    /// when the current cell is long. Excluded from fault-plan line
+    /// numbering and never advances lease progress.
+    Heartbeat { job: u64, shard: u64 },
     /// One completed cell, streamed as soon as it finishes. Carries the
     /// kernel the lease's request resolved to on this worker so the
     /// coordinator's per-worker report is correct even if the connection
@@ -757,10 +792,19 @@ pub enum FromWorker {
 impl FromWorker {
     pub fn encode(&self) -> String {
         match self {
-            Self::Hello { kernel, pid } => format!(
-                "{{\"type\":\"hello\",\"role\":\"worker\",\"kernel\":{},\"pid\":{pid}}}",
+            Self::Hello {
+                kernel,
+                pid,
+                proto_version,
+                config_epoch,
+            } => format!(
+                "{{\"type\":\"hello\",\"role\":\"worker\",\"proto\":{proto_version},\
+                 \"config_epoch\":{config_epoch},\"kernel\":{},\"pid\":{pid}}}",
                 jstr(kernel)
             ),
+            Self::Heartbeat { job, shard } => {
+                format!("{{\"type\":\"heartbeat\",\"job\":{job},\"shard\":{shard}}}")
+            }
             Self::Cell {
                 job,
                 shard,
@@ -794,6 +838,15 @@ impl FromWorker {
             "hello" => Ok(Self::Hello {
                 kernel: field_str(&v, "kernel")?,
                 pid: field_u64(&v, "pid")?,
+                // Absent on pre-versioning workers: decode as version 0 so
+                // the coordinator's vetting rejects them cleanly instead of
+                // erroring out the whole line.
+                proto_version: v.get("proto").and_then(Value::as_u64).unwrap_or(0),
+                config_epoch: v.get("config_epoch").and_then(Value::as_u64).unwrap_or(0),
+            }),
+            "heartbeat" => Ok(Self::Heartbeat {
+                job: field_u64(&v, "job")?,
+                shard: field_u64(&v, "shard")?,
             }),
             "cell" => Ok(Self::Cell {
                 job: field_u64(&v, "job")?,
@@ -882,6 +935,14 @@ pub struct ResultEnvelope {
     pub executed_cells: u64,
     /// Cells restored from per-shard checkpoints instead of executing.
     pub checkpoint_cells: u64,
+    /// Checkpoint records skipped as garbled or torn during restore.
+    pub checkpoint_skipped: u64,
+    /// Straggler leases speculatively re-executed on another worker.
+    pub speculations: u64,
+    /// Duplicate cell completions observed (speculation or lossy-link
+    /// recovery) — every one was asserted bit-exact against the slot it
+    /// duplicated before being counted.
+    pub duplicate_cells: u64,
     pub workers: Vec<WorkerStat>,
     /// The merged sweep document — byte-identical to `rh-cli sweep` run
     /// in-process with the same config.
@@ -905,7 +966,8 @@ impl ResultEnvelope {
         format!(
             "{{\"type\":\"result\",\"id\":{},\"config_hash\":{},\"seed\":{},\
              \"served_from_cache\":{},\"coalesced\":{},\"cache_hits\":{},\
-             \"executed_cells\":{},\"checkpoint_cells\":{},\"workers\":[{}],\
+             \"executed_cells\":{},\"checkpoint_cells\":{},\"checkpoint_skipped\":{},\
+             \"speculations\":{},\"duplicate_cells\":{},\"workers\":[{}],\
              \"document\":{}}}",
             jstr(&self.id),
             jstr(&format!("{:#018x}", self.config_hash)),
@@ -915,6 +977,9 @@ impl ResultEnvelope {
             self.cache_hits,
             self.executed_cells,
             self.checkpoint_cells,
+            self.checkpoint_skipped,
+            self.speculations,
+            self.duplicate_cells,
             workers.join(","),
             jstr(&self.document),
         )
@@ -957,6 +1022,15 @@ impl ResultEnvelope {
             cache_hits: field_u64(&v, "cache_hits")?,
             executed_cells: field_u64(&v, "executed_cells")?,
             checkpoint_cells: field_u64(&v, "checkpoint_cells")?,
+            checkpoint_skipped: v
+                .get("checkpoint_skipped")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            speculations: v.get("speculations").and_then(Value::as_u64).unwrap_or(0),
+            duplicate_cells: v
+                .get("duplicate_cells")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
             workers,
             document: field_str(&v, "document")?,
         })
@@ -1246,11 +1320,30 @@ mod tests {
         let hello = FromWorker::Hello {
             kernel: "avx2".into(),
             pid: 42,
+            proto_version: PROTO_VERSION,
+            config_epoch: 9,
         };
         assert!(matches!(
             FromWorker::decode(&hello.encode()).unwrap(),
-            FromWorker::Hello { pid: 42, .. }
+            FromWorker::Hello {
+                pid: 42,
+                proto_version: PROTO_VERSION,
+                config_epoch: 9,
+                ..
+            }
         ));
+        let beat = FromWorker::Heartbeat { job: 4, shard: 8 };
+        assert!(matches!(
+            FromWorker::decode(&beat.encode()).unwrap(),
+            FromWorker::Heartbeat { job: 4, shard: 8 }
+        ));
+        let reject = ToWorker::Reject {
+            reason: "epoch mismatch".into(),
+        };
+        match ToWorker::decode(&reject.encode()).unwrap() {
+            ToWorker::Reject { reason } => assert_eq!(reason, "epoch mismatch"),
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
         let done = FromWorker::ShardDone {
             job: 1,
             shard: 2,
@@ -1297,6 +1390,9 @@ mod tests {
             cache_hits: 3,
             executed_cells: 0,
             checkpoint_cells: 4,
+            checkpoint_skipped: 2,
+            speculations: 1,
+            duplicate_cells: 5,
             workers: vec![WorkerStat {
                 worker: "local-0".into(),
                 kernel: "scalar".into(),
@@ -1310,10 +1406,31 @@ mod tests {
         assert!(back.served_from_cache);
         assert_eq!(back.cache_hits, 3);
         assert_eq!(back.workers, env.workers);
+        assert_eq!(back.checkpoint_skipped, 2);
+        assert_eq!(back.speculations, 1);
+        assert_eq!(back.duplicate_cells, 5);
         assert_eq!(
             back.document, env.document,
             "document must survive escaping"
         );
+    }
+
+    #[test]
+    fn pre_versioning_hello_decodes_as_version_zero() {
+        // The PR 7 hello shape, with no proto/config_epoch fields — it must
+        // decode (so the coordinator can *vet* it) as version 0.
+        let legacy = r#"{"type":"hello","role":"worker","kernel":"scalar","pid":1}"#;
+        match FromWorker::decode(legacy).unwrap() {
+            FromWorker::Hello {
+                proto_version,
+                config_epoch,
+                ..
+            } => {
+                assert_eq!(proto_version, 0);
+                assert_eq!(config_epoch, 0);
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -39,28 +39,41 @@
 //!   stall, and the pipeline self-throttles — no unbounded buffering
 //!   anywhere.
 
-use crate::cache::ResultCache;
+use crate::cache::{corrupt_cache_segments, PersistentCache, ResultCache};
 use crate::engine::RunResult;
+use crate::faults::FaultPlan;
 use crate::json;
 use crate::plan::SweepPlan;
 use crate::proto::{
-    self, encode_error, read_line, write_line, ClientMsg, FromWorker, ResultEnvelope, ShardList,
-    ToWorker, WorkerStat,
+    self, encode_error, fnv1a64, read_line, write_line, ClientMsg, FromWorker, ResultEnvelope,
+    ShardList, ToWorker, WorkerStat, PROTO_VERSION,
 };
 use crate::sweep::{SweepConfig, SweepOutput};
 use rh_core::KernelChoice;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long [`Coordinator::start`] waits for locally-spawned workers to say
 /// hello before giving up (covers debug-build startup on a loaded box).
 const HELLO_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Straggler deadline = `max(speculate_after, EWMA-per-cell × FACTOR)`:
+/// a lease whose last progress is older than the deadline is speculatively
+/// re-leased. The factor leaves an order of magnitude of headroom over the
+/// observed cell time so normal jitter never triggers a duplicate.
+const SPECULATE_EWMA_FACTOR: f64 = 16.0;
+
+/// EWMA smoothing for the observed per-cell wall time.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Polling cadence of the in-process fallback waiter.
+const FALLBACK_TICK: Duration = Duration::from_millis(25);
 
 /// Configuration for [`Coordinator::start`] (the parsed `rh-cli serve`
 /// flags, plus test-only knobs).
@@ -86,6 +99,24 @@ pub struct ServeOptions {
     /// Extra argv per local worker index (fault injection in tests:
     /// `["--exit-after-cells", "7"]` for worker 0 only).
     pub worker_extra_args: Vec<Vec<String>>,
+    /// Coordinator-side fault plan. Today the only coordinator-side
+    /// directive is `corrupt-cache-record=N`, applied to the persistent
+    /// cache segments *before* they are opened (simulating disk rot across
+    /// a restart).
+    pub fault_plan: FaultPlan,
+    /// Directory for the persistent result cache; `None` keeps results in
+    /// memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Graceful degradation: when a job has waited this long without any
+    /// live worker, the submitting thread claims the job's leases and
+    /// executes them in-process. `None` (default) preserves fail-fast.
+    pub fallback_after: Option<Duration>,
+    /// Config generation; a worker announcing a different epoch in its
+    /// hello is rejected before it can lease anything.
+    pub config_epoch: u64,
+    /// Floor of the straggler deadline for speculative re-execution;
+    /// `None` disables speculation.
+    pub speculate_after: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -99,6 +130,11 @@ impl Default for ServeOptions {
             shard_cells: 16,
             worker_program: None,
             worker_extra_args: Vec::new(),
+            fault_plan: FaultPlan::default(),
+            cache_dir: None,
+            fallback_after: None,
+            config_epoch: 0,
+            speculate_after: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -115,6 +151,16 @@ struct Lease {
 /// Terminal state of a job: the rendered document, or an error.
 type JobOutcome = Result<String, String>;
 
+/// A lease currently executing on a worker, tracked for supervision: the
+/// speculation supervisor re-leases the still-missing cells of any entry
+/// whose `last_progress` (cell arrival or heartbeat) has gone stale.
+struct ActiveLease {
+    lease: Lease,
+    last_progress: Instant,
+    /// Already re-leased once; never speculate the same lease twice.
+    speculated: bool,
+}
+
 struct Job {
     plan: Arc<SweepPlan>,
     key: (u64, u64),
@@ -125,6 +171,12 @@ struct Job {
     remaining: usize,
     executed_cells: u64,
     checkpoint_cells: u64,
+    /// Checkpoint records skipped as garbled/torn during restore.
+    checkpoint_skipped: u64,
+    /// Straggler leases speculatively re-executed.
+    speculations: u64,
+    /// Duplicate cell completions, each asserted bit-exact before counting.
+    duplicate_cells: u64,
     /// Worker name → (resolved kernel, cells contributed).
     workers: BTreeMap<String, (String, u64)>,
     done: Option<JobOutcome>,
@@ -145,16 +197,30 @@ struct State {
     named: HashMap<String, u64>,
     queue: VecDeque<Lease>,
     cache: ResultCache,
+    /// Crash-safe on-disk cache behind the LRU (`--cache-dir`).
+    persistent: Option<PersistentCache>,
     /// Key → job id of the in-flight execution (single-flight dedup).
     inflight: HashMap<(u64, u64), u64>,
+    /// Shard id → supervision record for every lease out on a worker.
+    active: HashMap<u64, ActiveLease>,
+    /// Smoothed per-cell wall time (milliseconds), fed by cell arrivals;
+    /// the adaptive half of the straggler deadline.
+    ewma_cell_millis: Option<f64>,
     next_job: u64,
     next_shard: u64,
-    /// Workers currently connected (past hello).
+    /// Workers currently connected (past hello + vetting).
     live_workers: usize,
     /// Locally-spawned workers that have said hello (the start barrier).
     local_hellos: usize,
     /// A local worker exited before hello (spawn failure).
     spawn_failed: Option<String>,
+    /// Connections whose first line was not a decodable hello or client
+    /// message (logged and dropped, never panicked on).
+    rejected_connections: u64,
+    /// Workers refused for protocol-version or config-epoch skew.
+    rejected_workers: u64,
+    /// Submits answered from the persistent (on-disk) cache.
+    disk_hits: u64,
     shutting_down: bool,
 }
 
@@ -170,6 +236,13 @@ struct Inner {
     /// TCP listen mode: workers may attach later, so an empty pool blocks
     /// instead of failing jobs.
     allow_late_workers: bool,
+    /// Required `config_epoch` in worker hellos.
+    config_epoch: u64,
+    /// In-process fallback deadline (`None` = fail fast, the pre-existing
+    /// behavior).
+    fallback_after: Option<Duration>,
+    /// Speculation floor (`None` = no speculation).
+    speculate_after: Option<Duration>,
 }
 
 /// A running coordinator. Submit jobs via [`Coordinator::submit`] (the TCP
@@ -185,18 +258,39 @@ impl Coordinator {
     /// Spawn local workers, bind the listener (if any), and wait for every
     /// local worker's hello so submits never race worker startup.
     pub fn start(opts: ServeOptions) -> Result<Self, String> {
+        // The coordinator-side fault plan runs *before* the persistent
+        // cache opens: injected corruption is indistinguishable from real
+        // disk rot, so recovery is exercised on the same code path.
+        let persistent = match &opts.cache_dir {
+            Some(dir) => {
+                if !opts.fault_plan.corrupt_cache_records().is_empty() {
+                    let clobbered = corrupt_cache_segments(dir, &opts.fault_plan)?;
+                    eprintln!(
+                        "rh-serve: fault plan clobbered {clobbered} persistent cache record(s)"
+                    );
+                }
+                Some(PersistentCache::open(dir)?)
+            }
+            None => None,
+        };
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: HashMap::new(),
                 named: HashMap::new(),
                 queue: VecDeque::new(),
                 cache: ResultCache::new(opts.cache_capacity),
+                persistent,
                 inflight: HashMap::new(),
+                active: HashMap::new(),
+                ewma_cell_millis: None,
                 next_job: 0,
                 next_shard: 0,
                 live_workers: 0,
                 local_hellos: 0,
                 spawn_failed: None,
+                rejected_connections: 0,
+                rejected_workers: 0,
+                disk_hits: 0,
                 shutting_down: false,
             }),
             work: Condvar::new(),
@@ -205,6 +299,9 @@ impl Coordinator {
             checkpoint_dir: opts.checkpoint_dir.clone(),
             shard_cells: opts.shard_cells.max(1),
             allow_late_workers: opts.listen.is_some(),
+            config_epoch: opts.config_epoch,
+            fallback_after: opts.fallback_after,
+            speculate_after: opts.speculate_after,
         });
         if let Some(dir) = &inner.checkpoint_dir {
             std::fs::create_dir_all(dir)
@@ -233,6 +330,16 @@ impl Coordinator {
             handlers: Mutex::new(Vec::new()),
             listen_addr,
         };
+
+        if coordinator.inner.speculate_after.is_some() {
+            let sup = Arc::clone(&coordinator.inner);
+            let handle = std::thread::spawn(move || supervise_stragglers(&sup));
+            coordinator
+                .handlers
+                .lock()
+                .expect("handler lock")
+                .push(handle);
+        }
 
         let program = match &opts.worker_program {
             Some(p) => p.clone(),
@@ -276,6 +383,10 @@ impl Coordinator {
     ) -> Result<(), String> {
         let mut cmd = Command::new(program);
         cmd.arg("worker");
+        // Locally-spawned workers inherit the coordinator's epoch so they
+        // pass their own hello vetting; test args come later and can
+        // override it (last flag wins) to exercise the rejection path.
+        cmd.args(["--config-epoch", &opts.config_epoch.to_string()]);
         if let Some(extra) = opts.worker_extra_args.get(index) {
             cmd.args(extra);
         }
@@ -334,6 +445,42 @@ impl Coordinator {
             .live_workers
     }
 
+    /// Workers refused at hello time for protocol-version or config-epoch
+    /// skew.
+    pub fn rejected_workers(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .rejected_workers
+    }
+
+    /// Connections dropped because their first line decoded as neither a
+    /// worker hello nor a client message.
+    pub fn rejected_connections(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .rejected_connections
+    }
+
+    /// Submits served from the persistent (on-disk) cache.
+    pub fn disk_hits(&self) -> u64 {
+        self.inner.state.lock().expect("coordinator lock").disk_hits
+    }
+
+    /// Corrupt or torn persistent-cache records skipped since open.
+    pub fn cache_corrupt_skipped(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .persistent
+            .as_ref()
+            .map_or(0, PersistentCache::corrupt_skipped)
+    }
+
     /// Stop accepting work, shut down workers, and join handler threads.
     pub fn shutdown(&self) {
         {
@@ -388,19 +535,24 @@ impl Inner {
         }
         let id = id.unwrap_or_else(|| format!("job-{}", st.next_job));
 
-        // 1. Cache.
+        // 1. Cache: the in-memory LRU first, then the persistent segments
+        //    (which survive coordinator restarts); a disk hit warms the LRU.
         if let Some(document) = st.cache.get(key) {
-            return Ok(envelope(
-                &id,
-                key,
-                &st,
-                true,
-                false,
-                0,
-                0,
-                Vec::new(),
-                document,
-            ));
+            let stats = EnvStats {
+                served_from_cache: true,
+                ..EnvStats::default()
+            };
+            return Ok(envelope(&id, key, &st, stats, document));
+        }
+        if let Some(document) = st.persistent.as_mut().and_then(|p| p.get(key)) {
+            st.cache.put(key, document.clone());
+            st.cache.count_hit();
+            st.disk_hits += 1;
+            let stats = EnvStats {
+                served_from_cache: true,
+                ..EnvStats::default()
+            };
+            return Ok(envelope(&id, key, &st, stats, document));
         }
 
         // 2. Coalesce onto an identical in-flight job.
@@ -422,17 +574,12 @@ impl Inner {
                             .cache
                             .get(key)
                             .expect("primary job inserts before completing");
-                        return Ok(envelope(
-                            &id,
-                            key,
-                            &st,
-                            true,
-                            true,
-                            0,
-                            0,
-                            Vec::new(),
-                            document,
-                        ));
+                        let stats = EnvStats {
+                            served_from_cache: true,
+                            coalesced: true,
+                            ..EnvStats::default()
+                        };
+                        return Ok(envelope(&id, key, &st, stats, document));
                     }
                     Some(Err(e)) => return Err(e),
                     None => st = inner.done.wait(st).expect("coordinator lock"),
@@ -452,6 +599,9 @@ impl Inner {
             kernel: inner.kernel,
             executed_cells: 0,
             checkpoint_cells: 0,
+            checkpoint_skipped: 0,
+            speculations: 0,
+            duplicate_cells: 0,
             workers: BTreeMap::new(),
             done: None,
         };
@@ -463,25 +613,20 @@ impl Inner {
             // Fully restored from checkpoints: no worker needed at all.
             let document = finalize_document(&job);
             st.cache.put(key, document.clone());
-            let checkpoint_cells = job.checkpoint_cells;
+            persist_document(&mut st, key, &document);
+            let stats = EnvStats {
+                checkpoint_cells: job.checkpoint_cells,
+                checkpoint_skipped: job.checkpoint_skipped,
+                ..EnvStats::default()
+            };
             job.done = Some(Ok(document.clone()));
             st.jobs.insert(job_id, job);
             st.named.insert(id.clone(), job_id);
             inner.done.notify_all();
-            return Ok(envelope(
-                &id,
-                key,
-                &st,
-                false,
-                false,
-                0,
-                checkpoint_cells,
-                Vec::new(),
-                document,
-            ));
+            return Ok(envelope(&id, key, &st, stats, document));
         }
 
-        if st.live_workers == 0 && !inner.allow_late_workers {
+        if st.live_workers == 0 && !inner.allow_late_workers && inner.fallback_after.is_none() {
             return Err(
                 "no live workers and none can attach (start with --workers or --listen)"
                     .to_string(),
@@ -513,66 +658,262 @@ impl Inner {
         st.queue.extend(leases);
         inner.work.notify_all();
 
-        // 4. Wait for the merge.
+        // 4. Wait for the merge. With `--fallback-after`, a job stranded
+        //    without any live worker past the deadline is claimed by this
+        //    very thread: its queued leases are pulled and executed
+        //    in-process — degraded to exactly what `rh-cli sweep` does,
+        //    which by the determinism invariant yields the same bytes.
+        let started = Instant::now();
         loop {
             let outcome = st.jobs.get(&job_id).and_then(|j| j.done.clone());
             match outcome {
                 Some(Ok(document)) => {
-                    let job = &st.jobs[&job_id];
-                    let workers = job
-                        .workers
-                        .iter()
-                        .map(|(name, (kernel, cells))| WorkerStat {
-                            worker: name.clone(),
-                            kernel: kernel.clone(),
-                            cells: *cells,
-                        })
-                        .collect();
-                    let (executed, checkpointed) = (job.executed_cells, job.checkpoint_cells);
-                    return Ok(envelope(
-                        &id,
-                        key,
-                        &st,
-                        false,
-                        false,
-                        executed,
-                        checkpointed,
-                        workers,
-                        document,
-                    ));
+                    let stats = EnvStats::from_job(&st.jobs[&job_id]);
+                    return Ok(envelope(&id, key, &st, stats, document));
                 }
                 Some(Err(e)) => return Err(e),
-                None => st = inner.done.wait(st).expect("coordinator lock"),
+                None => {
+                    if let Some(deadline) = inner.fallback_after {
+                        if st.live_workers == 0 && started.elapsed() >= deadline {
+                            let mine: Vec<Lease> = st
+                                .queue
+                                .iter()
+                                .filter(|l| l.job == job_id)
+                                .cloned()
+                                .collect();
+                            if !mine.is_empty() {
+                                st.queue.retain(|l| l.job != job_id);
+                                eprintln!(
+                                    "rh-serve: no live worker after {deadline:?}; \
+                                     executing job {job_id} in-process"
+                                );
+                                drop(st);
+                                run_leases_in_process(inner, &mine);
+                                st = inner.state.lock().expect("coordinator lock");
+                                continue;
+                            }
+                        }
+                        st = inner
+                            .done
+                            .wait_timeout(st, FALLBACK_TICK)
+                            .expect("coordinator lock")
+                            .0;
+                    } else {
+                        st = inner.done.wait(st).expect("coordinator lock");
+                    }
+                }
             }
         }
     }
 }
 
-/// Build a response envelope (cache_hits snapshots the lifetime counter).
-#[allow(clippy::too_many_arguments)]
-fn envelope(
-    id: &str,
-    key: (u64, u64),
-    st: &State,
+/// Per-job statistics carried into a response envelope.
+#[derive(Default)]
+struct EnvStats {
     served_from_cache: bool,
     coalesced: bool,
     executed_cells: u64,
     checkpoint_cells: u64,
+    checkpoint_skipped: u64,
+    speculations: u64,
+    duplicate_cells: u64,
     workers: Vec<WorkerStat>,
+}
+
+impl EnvStats {
+    fn from_job(job: &Job) -> Self {
+        Self {
+            served_from_cache: false,
+            coalesced: false,
+            executed_cells: job.executed_cells,
+            checkpoint_cells: job.checkpoint_cells,
+            checkpoint_skipped: job.checkpoint_skipped,
+            speculations: job.speculations,
+            duplicate_cells: job.duplicate_cells,
+            workers: job
+                .workers
+                .iter()
+                .map(|(name, (kernel, cells))| WorkerStat {
+                    worker: name.clone(),
+                    kernel: kernel.clone(),
+                    cells: *cells,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Build a response envelope (cache_hits snapshots the lifetime counter).
+fn envelope(
+    id: &str,
+    key: (u64, u64),
+    st: &State,
+    stats: EnvStats,
     document: String,
 ) -> ResultEnvelope {
     ResultEnvelope {
         id: id.to_string(),
         config_hash: key.0,
         seed: key.1,
-        served_from_cache,
-        coalesced,
+        served_from_cache: stats.served_from_cache,
+        coalesced: stats.coalesced,
         cache_hits: st.cache.hits(),
-        executed_cells,
-        checkpoint_cells,
-        workers,
+        executed_cells: stats.executed_cells,
+        checkpoint_cells: stats.checkpoint_cells,
+        checkpoint_skipped: stats.checkpoint_skipped,
+        speculations: stats.speculations,
+        duplicate_cells: stats.duplicate_cells,
+        workers: stats.workers,
         document,
     }
+}
+
+/// Write a completed document through to the persistent cache (when one is
+/// configured). A write failure degrades durability, not the response —
+/// log and move on.
+fn persist_document(st: &mut MutexGuard<'_, State>, key: (u64, u64), document: &str) {
+    if let Some(p) = st.persistent.as_mut() {
+        if let Err(e) = p.put(key, document) {
+            eprintln!("rh-serve: persistent cache write failed: {e}");
+        }
+    }
+}
+
+/// Graceful degradation: execute a stranded job's leases on the submitting
+/// thread, merging through the same [`record_cell`] path workers use (so
+/// checkpointing, duplicate assertions, and completion all behave
+/// identically).
+fn run_leases_in_process(inner: &Arc<Inner>, leases: &[Lease]) {
+    for lease in leases {
+        let (config, kernel) = {
+            let st = inner.state.lock().expect("coordinator lock");
+            let Some(job) = st.jobs.get(&lease.job) else {
+                continue;
+            };
+            if job.done.is_some() {
+                continue;
+            }
+            (job.plan.config.clone(), job.kernel)
+        };
+        let resolved = match kernel.resolve() {
+            Ok(k) => k,
+            Err(e) => {
+                let mut st = inner.state.lock().expect("coordinator lock");
+                fail_job(inner, &mut st, lease.job, &e);
+                continue;
+            }
+        };
+        let sweep_plan = match SweepPlan::from_config(&config) {
+            Ok(p) => p,
+            Err(e) => {
+                let mut st = inner.state.lock().expect("coordinator lock");
+                fail_job(inner, &mut st, lease.job, &e);
+                continue;
+            }
+        };
+        let cells = match lease.list {
+            ShardList::Grid => &sweep_plan.grid,
+            ShardList::Para => &sweep_plan.para_sweep,
+        };
+        let leased: Vec<_> = lease.indices.iter().map(|&i| cells[i].clone()).collect();
+        let tables = crate::exec::build_table_cache(&sweep_plan, &leased);
+        let mut runner = crate::exec::Worker::with_kernel(resolved);
+        for (&index, cell) in lease.indices.iter().zip(&leased) {
+            let result = runner.run_cell(&sweep_plan, cell, &tables);
+            let mut st = inner.state.lock().expect("coordinator lock");
+            record_cell(
+                inner,
+                &mut st,
+                "in-process",
+                resolved.name(),
+                lease.job,
+                lease.shard,
+                lease.list,
+                index,
+                result,
+            );
+        }
+    }
+}
+
+/// The speculation supervisor: ticks while the coordinator is alive,
+/// re-leasing the still-missing cells of any active lease whose progress
+/// (cell arrival or heartbeat) is older than the adaptive deadline.
+/// Determinism makes the duplicate execution harmless; [`record_cell`]
+/// asserts the duplicates really are bit-exact.
+fn supervise_stragglers(inner: &Arc<Inner>) {
+    let floor = inner.speculate_after.expect("supervisor requires a floor");
+    let tick = (floor / 8).max(Duration::from_millis(25));
+    let mut st = inner.state.lock().expect("coordinator lock");
+    loop {
+        if st.shutting_down {
+            return;
+        }
+        let deadline = match st.ewma_cell_millis {
+            Some(ms) => floor.max(Duration::from_millis((ms * SPECULATE_EWMA_FACTOR) as u64)),
+            None => floor,
+        };
+        let now = Instant::now();
+        let stale: Vec<u64> = st
+            .active
+            .iter()
+            .filter(|(_, a)| !a.speculated && now.duration_since(a.last_progress) >= deadline)
+            .map(|(&shard, _)| shard)
+            .collect();
+        for shard in stale {
+            speculate(inner, &mut st, shard);
+        }
+        st = inner
+            .work
+            .wait_timeout(st, tick)
+            .expect("coordinator lock")
+            .0;
+    }
+}
+
+/// Re-lease one straggling shard's missing cells under a fresh shard id.
+/// The original lease stays out — whichever copy finishes a cell first
+/// fills the slot, and the loser must agree bit-for-bit.
+fn speculate(inner: &Arc<Inner>, st: &mut MutexGuard<'_, State>, shard: u64) {
+    let Some(active) = st.active.get(&shard) else {
+        return;
+    };
+    let lease = active.lease.clone();
+    let Some(job) = st.jobs.get_mut(&lease.job) else {
+        st.active.remove(&shard);
+        return;
+    };
+    if job.done.is_some() {
+        st.active.remove(&shard);
+        return;
+    }
+    let missing: Vec<usize> = lease
+        .indices
+        .iter()
+        .copied()
+        .filter(|&i| job.slot(lease.list, i).is_some_and(|s| s.is_none()))
+        .collect();
+    if missing.is_empty() {
+        return;
+    }
+    job.speculations += 1;
+    let twin_shard = st.next_shard;
+    st.next_shard += 1;
+    eprintln!(
+        "rh-serve: speculating {} stale cell(s) of job {} shard {shard} as shard {twin_shard}",
+        missing.len(),
+        lease.job,
+    );
+    st.queue.push_back(Lease {
+        job: lease.job,
+        shard: twin_shard,
+        list: lease.list,
+        indices: missing,
+    });
+    if let Some(a) = st.active.get_mut(&shard) {
+        a.speculated = true;
+    }
+    inner.work.notify_all();
 }
 
 /// Render a completed job's merged document — exactly what
@@ -613,10 +954,32 @@ fn checkpoint_path(dir: &Path, key: (u64, u64), list: ShardList) -> PathBuf {
     ))
 }
 
+/// Checksum binding a checkpoint record's index to its result payload, so
+/// a flipped byte anywhere in the record is detected rather than merged.
+fn checkpoint_sum(index: usize, result_json: &str) -> u64 {
+    fnv1a64(format!("{index}:{result_json}").as_bytes())
+}
+
+/// One record of a checkpoint file, parsed and checksum-verified. `None`
+/// means the record is torn or garbled and must be skipped (and counted).
+fn decode_checkpoint_line(line: &str) -> Option<(usize, RunResult)> {
+    let v = proto::parse(line).ok()?;
+    let index = v.get("index").and_then(proto::Value::as_usize)?;
+    let sum = v.get("sum").and_then(proto::Value::as_u64)?;
+    let result_value = v.get("result")?;
+    let result = proto::result_from_value(result_value).ok()?;
+    // Re-render for the sum check: render(parse(x)) is canonical here
+    // because the writer produced `result_to_json` output in the first
+    // place, and a flipped byte inside a number or bool changes it.
+    let result_json = proto::result_to_json(&result);
+    (checkpoint_sum(index, &result_json) == sum).then_some((index, result))
+}
+
 /// Load whatever a previous run checkpointed for this job's key, filling
-/// result slots so only the remainder gets scheduled. Unparseable lines
-/// (a crash mid-append) are skipped — a torn tail costs one cell, not the
-/// file.
+/// result slots so only the remainder gets scheduled. Torn lines (a crash
+/// mid-append) and garbled records (checksum mismatch) are skipped and
+/// counted — a bad record costs one cell, not the file, and the skip is
+/// observable as `checkpoint_skipped` in the envelope.
 fn load_checkpoints(dir: &Path, job: &mut Job) {
     for list in [ShardList::Grid, ShardList::Para] {
         let path = checkpoint_path(dir, job.key, list);
@@ -624,20 +987,23 @@ fn load_checkpoints(dir: &Path, job: &mut Job) {
             continue;
         };
         for line in contents.lines() {
-            let Ok(v) = proto::parse(line) else { continue };
-            let Some(index) = v.get("index").and_then(proto::Value::as_usize) else {
-                continue;
-            };
-            let Some(result) = v
-                .get("result")
-                .and_then(|r| proto::result_from_value(r).ok())
-            else {
-                continue;
-            };
-            if let Some(slot @ None) = job.slot(list, index) {
-                *slot = Some(result);
-                job.remaining -= 1;
-                job.checkpoint_cells += 1;
+            match decode_checkpoint_line(line) {
+                Some((index, result)) => {
+                    if let Some(slot @ None) = job.slot(list, index) {
+                        *slot = Some(result);
+                        job.remaining -= 1;
+                        job.checkpoint_cells += 1;
+                    }
+                }
+                None => {
+                    job.checkpoint_skipped += 1;
+                    eprintln!(
+                        "rh-serve: skipping garbled checkpoint record in {} \
+                         ({} skipped for this job so far)",
+                        path.display(),
+                        job.checkpoint_skipped
+                    );
+                }
             }
         }
     }
@@ -646,9 +1012,10 @@ fn load_checkpoints(dir: &Path, job: &mut Job) {
 /// Append one merged cell to its job's checkpoint file.
 fn checkpoint_cell(dir: &Path, key: (u64, u64), list: ShardList, index: usize, r: &RunResult) {
     let path = checkpoint_path(dir, key, list);
+    let result_json = proto::result_to_json(r);
     let line = format!(
-        "{{\"index\":{index},\"result\":{}}}\n",
-        proto::result_to_json(r)
+        "{{\"index\":{index},\"sum\":{},\"result\":{result_json}}}\n",
+        checkpoint_sum(index, &result_json)
     );
     let written = std::fs::OpenOptions::new()
         .create(true)
@@ -667,10 +1034,10 @@ fn checkpoint_cell(dir: &Path, key: (u64, u64), list: ShardList, index: usize, r
 // Worker handling
 // ---------------------------------------------------------------------------
 
-/// Per-worker-connection loop: consume the hello, then lease shards and
-/// merge the streamed results until the connection drops or the service
-/// shuts down. `local` marks coordinator-spawned workers (they count toward
-/// the start barrier).
+/// Per-worker-connection loop: consume and vet the hello, then lease
+/// shards and merge the streamed results until the connection drops or the
+/// service shuts down. `local` marks coordinator-spawned workers (they
+/// count toward the start barrier).
 fn worker_handler<R: BufRead, W: Write>(
     inner: &Arc<Inner>,
     name: &str,
@@ -681,7 +1048,15 @@ fn worker_handler<R: BufRead, W: Write>(
     // Hello first — a connection that says anything else is not a worker.
     match read_line(&mut reader) {
         Ok(Some(line)) => match FromWorker::decode(&line) {
-            Ok(FromWorker::Hello { .. }) => {}
+            Ok(FromWorker::Hello {
+                proto_version,
+                config_epoch,
+                ..
+            }) => {
+                if !vet_worker(inner, name, proto_version, config_epoch, &mut writer, local) {
+                    return;
+                }
+            }
             _ => {
                 register_spawn_failure(inner, name, "first message was not hello", local);
                 return;
@@ -693,6 +1068,50 @@ fn worker_handler<R: BufRead, W: Write>(
         }
     };
     worker_session(inner, name, &mut reader, &mut writer, local);
+}
+
+/// Vet a worker hello against this coordinator's protocol version and
+/// config epoch. A mismatch gets a terminal `reject` line (so the worker
+/// exits instead of retrying), a log line, and a counter bump — and, for a
+/// locally-spawned worker, fails coordinator startup, since a local pool
+/// that can never attach is a configuration error.
+fn vet_worker<W: Write>(
+    inner: &Arc<Inner>,
+    name: &str,
+    proto_version: u64,
+    config_epoch: u64,
+    writer: &mut W,
+    local: bool,
+) -> bool {
+    let reason = if proto_version != PROTO_VERSION {
+        Some(format!(
+            "protocol version {proto_version} does not match coordinator version {PROTO_VERSION}"
+        ))
+    } else if config_epoch != inner.config_epoch {
+        Some(format!(
+            "config epoch {config_epoch} does not match coordinator epoch {}",
+            inner.config_epoch
+        ))
+    } else {
+        None
+    };
+    let Some(reason) = reason else {
+        return true;
+    };
+    eprintln!("rh-serve: rejecting worker {name}: {reason}");
+    {
+        let mut st = inner.state.lock().expect("coordinator lock");
+        st.rejected_workers += 1;
+    }
+    let _ = write_line(
+        writer,
+        &ToWorker::Reject {
+            reason: reason.clone(),
+        }
+        .encode(),
+    );
+    register_spawn_failure(inner, name, &reason, local);
+    false
 }
 
 /// [`worker_handler`] for TCP connections whose hello the accept loop
@@ -757,13 +1176,32 @@ fn worker_session<R: BufRead, W: Write>(
             worker_gone(inner, name, local);
             return;
         }
+        {
+            // Register for supervision: the speculation supervisor watches
+            // this entry's progress timestamps.
+            let mut st = inner.state.lock().expect("coordinator lock");
+            st.active.insert(
+                lease.shard,
+                ActiveLease {
+                    lease: lease.clone(),
+                    last_progress: Instant::now(),
+                    speculated: false,
+                },
+            );
+        }
 
-        // Drain the shard's result stream.
+        // Drain the shard's result stream. Messages for *other* shards can
+        // legitimately appear here (a worker flushing the tail of a lease
+        // we already closed as complete) and are merged, never confused
+        // with the current lease's lifecycle.
         loop {
             let line = match read_line(reader) {
                 Ok(Some(line)) => line,
                 // Died mid-shard: requeue whatever it didn't deliver.
                 Ok(None) | Err(_) => {
+                    let mut st = inner.state.lock().expect("coordinator lock");
+                    st.active.remove(&lease.shard);
+                    drop(st);
                     requeue(inner, &lease);
                     worker_gone(inner, name, local);
                     return;
@@ -772,25 +1210,42 @@ fn worker_session<R: BufRead, W: Write>(
             let msg = match FromWorker::decode(&line) {
                 Ok(msg) => msg,
                 Err(_) => {
-                    requeue(inner, &lease);
-                    worker_gone(inner, name, local);
-                    return;
+                    // A garbled line (lossy link, fault injection): the
+                    // payload is lost but jsonl framing survives, so the
+                    // stream stays decodable. Any cell the line carried is
+                    // re-leased when this shard closes short.
+                    eprintln!("rh-serve: dropping garbled line from {name}");
+                    continue;
                 }
             };
             match msg {
                 FromWorker::Cell {
                     job,
+                    shard,
                     index,
                     kernel,
                     result,
-                    ..
                 } => {
                     let mut st = inner.state.lock().expect("coordinator lock");
                     record_cell(
-                        inner, &mut st, name, &kernel, job, lease.list, index, result,
+                        inner, &mut st, name, &kernel, job, shard, lease.list, index, result,
                     );
+                    // Every leased slot filled (possibly with help from a
+                    // speculative twin): the lease is complete even if the
+                    // closing shard_done gets lost.
+                    if shard == lease.shard && lease_settled(&mut st, &lease) {
+                        st.active.remove(&lease.shard);
+                        break;
+                    }
                 }
-                FromWorker::ShardDone { job, kernel, .. } => {
+                FromWorker::Heartbeat { .. } => {
+                    // Liveness only: the pulse proves the socket (and the
+                    // read loop) is alive. It deliberately does NOT reset
+                    // the speculation clock — a worker that beats but
+                    // delivers no cells is exactly the straggler the
+                    // supervisor exists to route around.
+                }
+                FromWorker::ShardDone { job, shard, kernel } => {
                     let mut st = inner.state.lock().expect("coordinator lock");
                     if let Some(j) = st.jobs.get_mut(&job) {
                         // The per-lease resolution is authoritative for this
@@ -799,12 +1254,26 @@ fn worker_session<R: BufRead, W: Write>(
                             stat.0 = kernel;
                         }
                     }
-                    break;
+                    if shard == lease.shard {
+                        st.active.remove(&lease.shard);
+                        drop(st);
+                        // A dropped line may have swallowed a cell: requeue
+                        // whatever the closed shard left unfilled.
+                        requeue(inner, &lease);
+                        break;
+                    }
                 }
-                FromWorker::Fail { job, message, .. } => {
+                FromWorker::Fail {
+                    job,
+                    shard,
+                    message,
+                } => {
                     let mut st = inner.state.lock().expect("coordinator lock");
                     fail_job(inner, &mut st, job, &message);
-                    break;
+                    if shard == lease.shard {
+                        st.active.remove(&lease.shard);
+                        break;
+                    }
                 }
                 FromWorker::Hello { .. } => {} // duplicate hello: ignore
             }
@@ -812,9 +1281,27 @@ fn worker_session<R: BufRead, W: Write>(
     }
 }
 
-/// Merge one streamed cell into its job (idempotent: re-executed cells from
-/// a reassigned shard overwrite nothing and count nothing). `kernel` is the
-/// per-cell resolved kernel the worker reported.
+/// True when every slot a lease covers is filled — or its job is already
+/// finished — so the serving connection can close the lease out.
+fn lease_settled(st: &mut MutexGuard<'_, State>, lease: &Lease) -> bool {
+    let Some(job) = st.jobs.get_mut(&lease.job) else {
+        return true;
+    };
+    if job.done.is_some() {
+        return true;
+    }
+    lease
+        .indices
+        .iter()
+        .all(|&i| job.slot(lease.list, i).is_none_or(|s| s.is_some()))
+}
+
+/// Merge one streamed cell into its job. A cell landing in an
+/// already-filled slot (speculative twin, or re-execution after a lossy
+/// link) is **asserted bit-exact** against the occupant: agreement is
+/// counted in `duplicate_cells`; divergence is a determinism violation and
+/// fails the job loudly — a wrong answer must never win a race silently.
+/// `kernel` is the per-cell resolved kernel the worker reported.
 #[allow(clippy::too_many_arguments)]
 fn record_cell(
     inner: &Arc<Inner>,
@@ -822,10 +1309,23 @@ fn record_cell(
     worker: &str,
     kernel: &str,
     job_id: u64,
+    shard: u64,
     list: ShardList,
     index: usize,
     result: RunResult,
 ) {
+    // Supervision bookkeeping first: this arrival is progress for its
+    // shard, and its wall time feeds the straggler deadline's EWMA.
+    let now = Instant::now();
+    if let Some(active) = st.active.get_mut(&shard) {
+        let sample_ms = now.duration_since(active.last_progress).as_secs_f64() * 1e3;
+        active.last_progress = now;
+        st.ewma_cell_millis = Some(match st.ewma_cell_millis {
+            Some(prev) => EWMA_ALPHA * sample_ms + (1.0 - EWMA_ALPHA) * prev,
+            None => sample_ms,
+        });
+    }
+
     let Some(job) = st.jobs.get_mut(&job_id) else {
         return;
     };
@@ -836,7 +1336,21 @@ fn record_cell(
     let Some(slot) = job.slot(list, index) else {
         return;
     };
-    if slot.is_some() {
+    if let Some(existing) = slot {
+        // Bit-exact comparison via the canonical wire rendering: floats
+        // travel as IEEE bit patterns, so equal strings ⇔ equal bits.
+        if proto::result_to_json(existing) == proto::result_to_json(&result) {
+            job.duplicate_cells += 1;
+        } else {
+            let message = format!(
+                "determinism violation: {} cell {index} of job {job_id} diverged \
+                 between workers (duplicate from {worker} disagrees with the \
+                 merged result)",
+                list.name()
+            );
+            eprintln!("rh-serve: {message}");
+            fail_job(inner, st, job_id, &message);
+        }
         return;
     }
     *slot = Some(result.clone());
@@ -857,6 +1371,7 @@ fn record_cell(
     if complete {
         let document = finalize_document(&st.jobs[&job_id]);
         st.cache.put(key, document.clone());
+        persist_document(st, key, &document);
         st.inflight.remove(&key);
         if let Some(job) = st.jobs.get_mut(&job_id) {
             job.done = Some(Ok(document));
@@ -874,6 +1389,7 @@ fn fail_job(inner: &Arc<Inner>, st: &mut MutexGuard<'_, State>, job_id: u64, mes
             job.done = Some(Err(message.to_string()));
             st.inflight.remove(&key);
             st.queue.retain(|l| l.job != job_id);
+            st.active.retain(|_, a| a.lease.job != job_id);
             inner.done.notify_all();
         }
     }
@@ -897,12 +1413,18 @@ fn requeue(inner: &Arc<Inner>, lease: &Lease) {
     }
 }
 
-/// Account a worker disconnect. When the pool empties and no late workers
-/// can ever attach, pending jobs fail fast instead of hanging.
+/// Account a worker disconnect. When the pool empties, no late workers can
+/// ever attach, and in-process fallback is off, pending jobs fail fast
+/// instead of hanging (with fallback on, the submitting threads pick the
+/// stranded leases up themselves).
 fn worker_gone(inner: &Arc<Inner>, name: &str, _local: bool) {
     let mut st = inner.state.lock().expect("coordinator lock");
     st.live_workers = st.live_workers.saturating_sub(1);
-    if st.live_workers == 0 && !inner.allow_late_workers && !st.shutting_down {
+    if st.live_workers == 0
+        && !inner.allow_late_workers
+        && inner.fallback_after.is_none()
+        && !st.shutting_down
+    {
         let stuck: Vec<u64> = st
             .jobs
             .iter()
@@ -932,8 +1454,15 @@ fn register_spawn_failure(inner: &Arc<Inner>, name: &str, why: &str, local: bool
 // TCP front door
 // ---------------------------------------------------------------------------
 
+/// How long a fresh connection gets to produce its first line before the
+/// handler gives up on it (a connect-and-say-nothing peer must not pin a
+/// thread forever).
+const FIRST_LINE_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Accept loop: every connection's first line says what it is — a worker
-/// hello, or a client message (which is handled and followed by more).
+/// hello (vetted before any lease), or a client message. Anything else is
+/// a logged, counted, per-connection rejection; the listener itself never
+/// panics or hangs on a bad peer.
 fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
@@ -943,26 +1472,74 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
                 .peer_addr()
                 .map(|a| a.to_string())
                 .unwrap_or_else(|_| "unknown".to_string());
+            let _ = stream.set_read_timeout(Some(FIRST_LINE_TIMEOUT));
             let Ok(read_half) = stream.try_clone() else {
                 return;
             };
             let mut reader = BufReader::new(read_half);
             let mut writer = stream;
-            let Ok(Some(first)) = read_line(&mut reader) else {
-                return;
+            let first = match read_line(&mut reader) {
+                Ok(Some(first)) => first,
+                Ok(None) => return, // silent hangup: nothing to log
+                Err(_) => {
+                    reject_connection(&inner, &peer, &mut writer, "no first line before timeout");
+                    return;
+                }
             };
-            let is_worker_hello = proto::parse(&first).is_ok_and(|v| {
-                v.get("type").and_then(proto::Value::as_str) == Some("hello")
-                    && v.get("role").and_then(proto::Value::as_str) == Some("worker")
-            });
-            if is_worker_hello {
-                let name = format!("tcp-{peer}");
-                worker_session(&inner, &name, &mut reader, &mut writer, false);
-            } else {
-                client_session(&inner, &first, &mut reader, &mut writer);
-            }
+            // The timeout only guards the greeting: attached workers
+            // legitimately idle between leases. (The clones share one
+            // socket, so clearing it on either half clears both.)
+            let _ = writer.set_read_timeout(None);
+            route_first(&inner, &peer, &first, &mut reader, &mut writer);
         });
     }
+}
+
+/// Dispatch a connection on its first line. Factored off the TCP accept
+/// path so garbage-greeting handling is unit-testable over in-memory
+/// streams.
+fn route_first<R: BufRead, W: Write>(
+    inner: &Arc<Inner>,
+    peer: &str,
+    first: &str,
+    reader: &mut R,
+    writer: &mut W,
+) {
+    let parsed = proto::parse(first);
+    let is_worker_hello = parsed.as_ref().is_ok_and(|v| {
+        v.get("type").and_then(proto::Value::as_str) == Some("hello")
+            && v.get("role").and_then(proto::Value::as_str) == Some("worker")
+    });
+    if is_worker_hello {
+        let name = format!("tcp-{peer}");
+        match FromWorker::decode(first) {
+            Ok(FromWorker::Hello {
+                proto_version,
+                config_epoch,
+                ..
+            }) => {
+                if vet_worker(inner, &name, proto_version, config_epoch, writer, false) {
+                    worker_session(inner, &name, reader, writer, false);
+                }
+            }
+            _ => reject_connection(inner, peer, writer, "malformed worker hello"),
+        }
+    } else if parsed.is_ok() {
+        client_session(inner, first, reader, writer);
+    } else {
+        reject_connection(inner, peer, writer, "first line is not a protocol message");
+    }
+}
+
+/// Log, count, and answer a connection whose greeting was garbage. The
+/// error line is best-effort — the peer may already be gone.
+fn reject_connection<W: Write>(inner: &Arc<Inner>, peer: &str, writer: &mut W, why: &str) {
+    {
+        let mut st = inner.state.lock().expect("coordinator lock");
+        st.rejected_connections += 1;
+    }
+    eprintln!("rh-serve: rejecting connection from {peer}: {why}");
+    let _ = write_line(writer, &encode_error("", why));
 }
 
 /// One client connection: handle its first line, then every further line
@@ -1018,6 +1595,7 @@ fn cancel_by_name(inner: &Arc<Inner>, id: &str) -> bool {
     job.done = Some(Err(format!("job '{id}' canceled")));
     st.inflight.remove(&key);
     st.queue.retain(|l| l.job != job_id);
+    st.active.retain(|_, a| a.lease.job != job_id);
     inner.done.notify_all();
     true
 }
@@ -1070,6 +1648,38 @@ pub fn run_serve(opts: ServeOptions) -> Result<(), String> {
 #[derive(Debug, Clone, Default)]
 pub struct SubmitOptions {
     pub connect: String,
+    /// Bound on both the connect and each response read (`--timeout`);
+    /// `None` blocks indefinitely, as before. On expiry the client exits
+    /// nonzero with a message naming the deadline — a wedged coordinator
+    /// must not wedge CI with it.
+    pub timeout: Option<Duration>,
+}
+
+/// Connect to the coordinator, bounded by `timeout` when one is set (the
+/// same deadline then bounds every response read).
+fn connect_submit(opts: &SubmitOptions) -> Result<TcpStream, String> {
+    let Some(timeout) = opts.timeout else {
+        return TcpStream::connect(&opts.connect)
+            .map_err(|e| format!("cannot connect to {}: {e}", opts.connect));
+    };
+    let addrs: Vec<SocketAddr> = opts
+        .connect
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {}: {e}", opts.connect))?
+        .collect();
+    let mut last = format!("{} resolved to no addresses", opts.connect);
+    for addr in addrs {
+        match TcpStream::connect_timeout(&addr, timeout) {
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(timeout))
+                    .map_err(|e| format!("set read timeout: {e}"))?;
+                return Ok(stream);
+            }
+            Err(e) => last = format!("cannot connect to {addr} within {timeout:?}: {e}"),
+        }
+    }
+    Err(last)
 }
 
 /// `rh-cli submit`: read config lines from stdin, send each to the
@@ -1077,8 +1687,7 @@ pub struct SubmitOptions {
 /// stdout (so output byte-diffs directly against `rh-cli sweep`) with the
 /// envelope metadata on stderr. Errors exit nonzero.
 pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
-    let stream = TcpStream::connect(&opts.connect)
-        .map_err(|e| format!("cannot connect to {}: {e}", opts.connect))?;
+    let stream = connect_submit(opts)?;
     let mut reader = BufReader::new(
         stream
             .try_clone()
@@ -1091,12 +1700,23 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
     while let Some(line) = read_line(&mut input).map_err(|e| format!("stdin: {e}"))? {
         write_line(&mut writer, &line).map_err(|e| format!("send: {e}"))?;
         let reply = read_line(&mut reader)
-            .map_err(|e| format!("recv: {e}"))?
+            .map_err(|e| match opts.timeout {
+                Some(t)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    format!("no response from {} within {t:?}", opts.connect)
+                }
+                _ => format!("recv: {e}"),
+            })?
             .ok_or("coordinator closed the connection")?;
         let env = ResultEnvelope::decode(&reply)?;
         eprintln!(
             "rh-submit: id={} hash={:#018x} seed={} cached={} coalesced={} cache_hits={} \
-             executed={} checkpointed={} workers={}",
+             executed={} checkpointed={} ckpt_skipped={} speculations={} duplicates={} \
+             workers={}",
             env.id,
             env.config_hash,
             env.seed,
@@ -1105,6 +1725,9 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
             env.cache_hits,
             env.executed_cells,
             env.checkpoint_cells,
+            env.checkpoint_skipped,
+            env.speculations,
+            env.duplicate_cells,
             env.workers
                 .iter()
                 .map(|w| format!("{}:{}({})", w.worker, w.kernel, w.cells))
@@ -1120,4 +1743,392 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
             .map_err(|e| format!("stdout: {e}"))?;
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn small_config() -> SweepConfig {
+        SweepConfig {
+            activations: 2_000,
+            hc_firsts: vec![500],
+            sides: vec![2],
+            para_probabilities: vec![0.0],
+            geometry: rh_core::Geometry::tiny(64),
+            ..SweepConfig::default()
+        }
+    }
+
+    /// A bare coordinator core with no workers, listener, or threads —
+    /// just the shared state the handler functions operate on.
+    fn test_inner() -> Arc<Inner> {
+        Arc::new(Inner {
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                named: HashMap::new(),
+                queue: VecDeque::new(),
+                cache: ResultCache::new(8),
+                persistent: None,
+                inflight: HashMap::new(),
+                active: HashMap::new(),
+                ewma_cell_millis: None,
+                next_job: 0,
+                next_shard: 0,
+                live_workers: 0,
+                local_hellos: 0,
+                spawn_failed: None,
+                rejected_connections: 0,
+                rejected_workers: 0,
+                disk_hits: 0,
+                shutting_down: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            kernel: KernelChoice::Auto,
+            checkpoint_dir: None,
+            shard_cells: 4,
+            allow_late_workers: true,
+            config_epoch: 0,
+            fallback_after: None,
+            speculate_after: None,
+        })
+    }
+
+    /// Insert a fresh job for `cfg` and return its id plus the reference
+    /// per-cell results of the grid list (executed in-process).
+    fn seed_job(inner: &Arc<Inner>, cfg: &SweepConfig) -> (u64, Vec<RunResult>) {
+        let plan = Arc::new(SweepPlan::from_config(cfg).expect("valid config"));
+        let results = crate::exec::execute_cells(&plan, &plan.grid, 1);
+        let mut st = inner.state.lock().unwrap();
+        let job_id = st.next_job;
+        st.next_job += 1;
+        let job = Job {
+            grid: vec![None; plan.grid.len()],
+            para: vec![None; plan.para_sweep.len()],
+            remaining: plan.grid.len() + plan.para_sweep.len(),
+            plan: Arc::clone(&plan),
+            key: (0xABCD, cfg.seed),
+            kernel: KernelChoice::Auto,
+            executed_cells: 0,
+            checkpoint_cells: 0,
+            checkpoint_skipped: 0,
+            speculations: 0,
+            duplicate_cells: 0,
+            workers: BTreeMap::new(),
+            done: None,
+        };
+        st.jobs.insert(job_id, job);
+        (job_id, results)
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rh-serve-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn garbage_first_lines_are_rejected_not_panicked() {
+        let inner = test_inner();
+        let garbage = [
+            "not json at all",
+            "{\"type\":\"hello\",\"role\":\"worker\"",
+            "\u{0}\u{1}\u{2}garbage",
+            "GET / HTTP/1.1",
+        ];
+        for first in garbage {
+            let mut reader = Cursor::new(Vec::new());
+            let mut out = Vec::new();
+            route_first(&inner, "test-peer", first, &mut reader, &mut out);
+            let reply = String::from_utf8(out).expect("utf8 reply");
+            assert!(
+                reply.contains("\"type\":\"error\""),
+                "garbage '{first}' must get an error line, got '{reply}'"
+            );
+        }
+        let st = inner.state.lock().unwrap();
+        assert_eq!(st.rejected_connections, garbage.len() as u64);
+        assert_eq!(st.live_workers, 0, "no garbage line may register a worker");
+    }
+
+    #[test]
+    fn valid_json_non_hello_goes_to_the_client_path() {
+        let inner = test_inner();
+        let mut reader = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        route_first(
+            &inner,
+            "peer",
+            "{\"type\":\"bogus\"}",
+            &mut reader,
+            &mut out,
+        );
+        let reply = String::from_utf8(out).unwrap();
+        assert!(
+            reply.contains("unknown client message type"),
+            "got '{reply}'"
+        );
+        assert_eq!(inner.state.lock().unwrap().rejected_connections, 0);
+    }
+
+    #[test]
+    fn version_and_epoch_skew_get_a_terminal_reject_line() {
+        let inner = test_inner();
+        for (hello, needle) in [
+            (
+                FromWorker::Hello {
+                    kernel: "scalar".into(),
+                    pid: 1,
+                    proto_version: PROTO_VERSION + 1,
+                    config_epoch: 0,
+                },
+                "protocol version",
+            ),
+            (
+                FromWorker::Hello {
+                    kernel: "scalar".into(),
+                    pid: 1,
+                    proto_version: PROTO_VERSION,
+                    config_epoch: 3,
+                },
+                "config epoch",
+            ),
+        ] {
+            let mut reader = Cursor::new(Vec::new());
+            let mut out = Vec::new();
+            route_first(&inner, "peer", &hello.encode(), &mut reader, &mut out);
+            let reply = String::from_utf8(out).unwrap();
+            let msg = ToWorker::decode(reply.trim()).expect("a decodable reject line");
+            match msg {
+                ToWorker::Reject { reason } => {
+                    assert!(reason.contains(needle), "got reason '{reason}'");
+                }
+                other => panic!("expected reject, got {other:?}"),
+            }
+        }
+        let st = inner.state.lock().unwrap();
+        assert_eq!(st.rejected_workers, 2);
+        assert_eq!(st.live_workers, 0);
+    }
+
+    /// A pre-versioning hello (no proto field) decodes as version 0 and is
+    /// rejected by the same vetting, not crashed on.
+    #[test]
+    fn legacy_hello_is_rejected_as_version_zero() {
+        let inner = test_inner();
+        let mut reader = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        route_first(
+            &inner,
+            "peer",
+            "{\"type\":\"hello\",\"role\":\"worker\",\"kernel\":\"scalar\",\"pid\":7}",
+            &mut reader,
+            &mut out,
+        );
+        let reply = String::from_utf8(out).unwrap();
+        assert!(reply.contains("protocol version 0"), "got '{reply}'");
+        assert_eq!(inner.state.lock().unwrap().rejected_workers, 1);
+    }
+
+    #[test]
+    fn duplicate_cells_must_agree_bit_for_bit() {
+        let inner = test_inner();
+        let cfg = small_config();
+        let (job_id, results) = seed_job(&inner, &cfg);
+        let r0 = results[0].clone();
+
+        let mut st = inner.state.lock().unwrap();
+        record_cell(
+            &inner,
+            &mut st,
+            "w1",
+            "scalar",
+            job_id,
+            0,
+            ShardList::Grid,
+            0,
+            r0.clone(),
+        );
+        assert_eq!(st.jobs[&job_id].executed_cells, 1);
+        assert_eq!(st.jobs[&job_id].duplicate_cells, 0);
+
+        // A bit-exact duplicate (speculative twin finishing second) is
+        // counted, not merged twice.
+        record_cell(
+            &inner,
+            &mut st,
+            "w2",
+            "scalar",
+            job_id,
+            1,
+            ShardList::Grid,
+            0,
+            r0.clone(),
+        );
+        assert_eq!(st.jobs[&job_id].executed_cells, 1);
+        assert_eq!(st.jobs[&job_id].duplicate_cells, 1);
+        assert!(st.jobs[&job_id].done.is_none());
+
+        // A diverging duplicate is a determinism violation: the job fails
+        // loudly instead of letting either copy win the race.
+        let mut diverged = r0.clone();
+        diverged.total_flips += 1;
+        record_cell(
+            &inner,
+            &mut st,
+            "w3",
+            "scalar",
+            job_id,
+            2,
+            ShardList::Grid,
+            0,
+            diverged,
+        );
+        match &st.jobs[&job_id].done {
+            Some(Err(e)) => assert!(e.contains("determinism violation"), "got '{e}'"),
+            other => panic!("diverged duplicate must fail the job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbled_checkpoint_records_are_skipped_and_counted() {
+        let dir = scratch("ckpt-garble");
+        let cfg = small_config();
+        let inner = test_inner();
+        let (job_id, results) = seed_job(&inner, &cfg);
+        let key = inner.state.lock().unwrap().jobs[&job_id].key;
+
+        checkpoint_cell(&dir, key, ShardList::Grid, 0, &results[0]);
+        checkpoint_cell(&dir, key, ShardList::Para, 0, &results[0]);
+
+        // Flip bytes mid-record in the para file: parseable or not, the
+        // checksum no longer matches and the record must not be trusted.
+        let path = checkpoint_path(&dir, key, ShardList::Para);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        bytes[mid + 1] = bytes[mid + 1].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let plan = Arc::new(SweepPlan::from_config(&cfg).unwrap());
+        let mut job = Job {
+            grid: vec![None; plan.grid.len()],
+            para: vec![None; plan.para_sweep.len()],
+            remaining: plan.grid.len() + plan.para_sweep.len(),
+            plan,
+            key,
+            kernel: KernelChoice::Auto,
+            executed_cells: 0,
+            checkpoint_cells: 0,
+            checkpoint_skipped: 0,
+            speculations: 0,
+            duplicate_cells: 0,
+            workers: BTreeMap::new(),
+            done: None,
+        };
+        load_checkpoints(&dir, &mut job);
+        assert_eq!(job.checkpoint_cells, 1, "the good grid record restores");
+        assert_eq!(job.checkpoint_skipped, 1, "the garbled para record skips");
+        assert!(job.grid[0].is_some());
+        assert!(
+            job.para[0].is_none(),
+            "a garbled record must not fill a slot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn speculate_releases_only_the_missing_cells_once() {
+        let inner = test_inner();
+        let cfg = small_config();
+        let (job_id, results) = seed_job(&inner, &cfg);
+        let grid_len = results.len();
+        assert!(grid_len >= 1);
+
+        let lease = Lease {
+            job: job_id,
+            shard: 0,
+            list: ShardList::Grid,
+            indices: (0..grid_len).collect(),
+        };
+        let mut st = inner.state.lock().unwrap();
+        st.next_shard = 1;
+        st.active.insert(
+            0,
+            ActiveLease {
+                lease,
+                last_progress: Instant::now(),
+                speculated: false,
+            },
+        );
+        speculate(&inner, &mut st, 0);
+        assert_eq!(st.jobs[&job_id].speculations, 1);
+        let twin = st.queue.back().expect("a twin lease queued").clone();
+        assert_eq!(twin.indices, (0..grid_len).collect::<Vec<_>>());
+        assert_ne!(twin.shard, 0, "the twin runs under a fresh shard id");
+        assert!(st.active[&0].speculated);
+
+        // Speculating the same shard again is a no-op by construction: the
+        // supervisor filters on the flag, and even a direct call only adds
+        // cells that are still missing.
+        record_cell(
+            &inner,
+            &mut st,
+            "w1",
+            "scalar",
+            job_id,
+            0,
+            ShardList::Grid,
+            0,
+            results[0].clone(),
+        );
+        let queued_before = st.queue.len();
+        speculate(&inner, &mut st, 0);
+        let twin2 = st.queue.back().unwrap();
+        if st.queue.len() > queued_before {
+            assert!(
+                !twin2.indices.contains(&0),
+                "a filled slot must not be re-leased"
+            );
+        }
+        drop(st);
+    }
+
+    /// Graceful degradation end to end: a coordinator with no workers and
+    /// no listener still answers — the submitting thread executes the
+    /// leases in-process, and the document is byte-identical to the
+    /// in-process sweep.
+    #[test]
+    fn fallback_executes_in_process_when_no_worker_attaches() {
+        let cfg = small_config();
+        let expected = json::render(
+            &crate::sweep::run_sweep_with_kernel(&cfg, 1, KernelChoice::Auto).unwrap(),
+        );
+        let coordinator = Coordinator::start(ServeOptions {
+            workers: 0,
+            fallback_after: Some(Duration::from_millis(10)),
+            speculate_after: None,
+            ..ServeOptions::default()
+        })
+        .expect("workerless coordinator starts when fallback is armed");
+        let env = coordinator
+            .submit(Some("fb".into()), &cfg)
+            .expect("fallback submit succeeds");
+        assert_eq!(env.document, expected, "fallback must be byte-identical");
+        assert_eq!(
+            env.workers.len(),
+            1,
+            "exactly one (in-process) worker entry"
+        );
+        assert_eq!(env.workers[0].worker, "in-process");
+        assert!(env.executed_cells > 0);
+        coordinator.shutdown();
+    }
 }

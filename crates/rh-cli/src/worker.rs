@@ -2,8 +2,8 @@
 //!
 //! A worker is deliberately dumb: it connects to a coordinator (over the
 //! stdio pipes the coordinator spawned it with, or a TCP stream when
-//! started with `--connect`), announces itself with a `hello` line, and
-//! then serves shard leases one at a time. Each lease carries the
+//! started with `--connect`), announces itself with a versioned `hello`
+//! line, and then serves shard leases one at a time. Each lease carries the
 //! *normalized config plus cell indices* — the worker re-expands
 //! [`SweepPlan::from_config`] locally (the plan is a pure function of the
 //! config, seeds included), slices out the leased cells, and executes them
@@ -13,150 +13,342 @@
 //! checkpoint incrementally and a dying worker loses at most the cell it
 //! was computing.
 //!
+//! ## Supervised lifecycle
+//!
+//! The hello carries [`crate::proto::PROTO_VERSION`] and the worker's
+//! `--config-epoch`; a coordinator with a different version or epoch
+//! answers with a terminal `reject` line instead of a lease, and the worker
+//! exits nonzero — skew fails at attach time, never as garbage in a merge.
+//! While a shard executes, a side thread pulses `heartbeat` lines (under
+//! the shared writer lock, so lines never interleave) letting the
+//! coordinator tell a long-running cell from a dead socket. With
+//! `--retry N`, a failed connect or a dropped connection is retried with
+//! seeded, capped exponential backoff — but a `reject` is never retried.
+//!
+//! ## Fault injection
+//!
+//! `--fault-plan` (see [`crate::faults`]) schedules deterministic crashes
+//! (`crash-after-cells=N`, the generalization of the legacy
+//! `--exit-after-cells N`), injected stalls, dropped/garbled protocol
+//! lines, and delayed greetings. Heartbeats are exempt from line counting
+//! so the schedule stays deterministic regardless of timing.
+//!
 //! Kernel selection composes the same way it does everywhere else: the
 //! lease carries the coordinator's `--kernel` request, the worker resolves
 //! it against its own CPU, and its own `RH_FORCE_SCALAR` environment wins
 //! over any request ([`rh_core::KernelChoice::resolve`]). The resolved name
 //! is reported back in the `shard_done` line, so the merged report can
 //! record what each worker actually ran.
-//!
-//! Fault injection: `--exit-after-cells N` makes the worker drop its
-//! connection (by returning from the loop, which exits the process) after
-//! streaming its `N`-th cell — mid-shard, with no `shard_done`. That is
-//! exactly what a crash looks like from the coordinator's side, but
-//! deterministic, which is what the reassignment tests need.
 
 use crate::exec::{build_table_cache, Worker as CellRunner};
+use crate::faults::{CellFate, FaultPlan, LineFate};
 use crate::plan::SweepPlan;
-use crate::proto::{read_line, write_line, FromWorker, ShardList, ToWorker};
-use rh_core::KernelChoice;
+use crate::proto::{read_line, write_line, FromWorker, ShardList, ToWorker, PROTO_VERSION};
+use rh_core::{derive_seed, KernelChoice, SplitMix64};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Interval between heartbeat pulses while a shard is executing.
+const HEARTBEAT_MS: u64 = 500;
+
+/// Ceiling for one reconnect backoff step.
+const BACKOFF_CAP_MS: u64 = 10_000;
 
 /// Parsed `rh-cli worker` options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct WorkerOptions {
     /// Coordinator address to attach to over TCP; `None` means the worker
     /// was spawned by a local coordinator and speaks over stdio.
     pub connect: Option<String>,
-    /// Fault injection: drop the connection after this many cells.
+    /// Legacy fault knob: drop the connection after this many cells.
+    /// Folded into the fault plan (`crash-after-cells`), which wins.
     pub exit_after_cells: Option<u64>,
+    /// Deterministic fault schedule for this worker's connections.
+    pub fault_plan: FaultPlan,
+    /// Config generation announced in the hello; must match the
+    /// coordinator's `--config-epoch` or the worker is rejected.
+    pub config_epoch: u64,
+    /// Reconnect attempts after a failed connect or dropped connection
+    /// (`--connect` mode only). 0 = give up immediately, as before.
+    pub retries: u32,
+    /// Base of the exponential reconnect backoff.
+    pub backoff_base_ms: u64,
 }
 
-/// Entry point for `rh-cli worker`.
-pub fn run_worker(opts: &WorkerOptions) -> Result<(), String> {
-    match &opts.connect {
-        Some(addr) => {
-            let stream = TcpStream::connect(addr)
-                .map_err(|e| format!("worker: cannot connect to {addr}: {e}"))?;
-            let reader = BufReader::new(
-                stream
-                    .try_clone()
-                    .map_err(|e| format!("worker: clone stream: {e}"))?,
-            );
-            worker_loop(reader, stream, opts.exit_after_cells)
-        }
-        None => {
-            let stdin = std::io::stdin().lock();
-            let stdout = std::io::stdout().lock();
-            worker_loop(stdin, stdout, opts.exit_after_cells)
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            connect: None,
+            exit_after_cells: None,
+            fault_plan: FaultPlan::default(),
+            config_epoch: 0,
+            retries: 0,
+            backoff_base_ms: 200,
         }
     }
 }
 
-/// The worker protocol loop over any line-oriented transport. Returns when
-/// the coordinator says `shutdown`, closes the connection, or — fault
-/// injection — the cell budget runs out mid-shard.
-pub fn worker_loop<R: BufRead, W: Write>(
-    mut reader: R,
-    mut writer: W,
-    mut fuel: Option<u64>,
-) -> Result<(), String> {
-    // What `--kernel auto` resolves to on this host/environment — recorded
-    // by the coordinator per worker. Individual leases re-resolve their own
-    // request.
-    let default_kernel = KernelChoice::Auto.resolve()?;
-    let hello = FromWorker::Hello {
-        kernel: default_kernel.name().to_string(),
-        pid: u64::from(std::process::id()),
-    };
-    write_line(&mut writer, &hello.encode()).map_err(|e| format!("worker: hello: {e}"))?;
+/// How a worker session over one connection ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The coordinator said `shutdown`: done for good.
+    Shutdown,
+    /// The coordinator hung up without a shutdown (crash or restart) — a
+    /// reconnect candidate when retries remain.
+    Eof,
+    /// The fault plan's scheduled crash fired: die like a crash would.
+    Crashed,
+    /// The coordinator refused the hello (version/epoch skew). Terminal:
+    /// retrying cannot heal it.
+    Rejected(String),
+}
 
-    loop {
-        let line = match read_line(&mut reader) {
-            Ok(Some(line)) => line,
-            // Coordinator hung up: a clean exit, not an error.
-            Ok(None) => return Ok(()),
-            Err(e) => return Err(format!("worker: read: {e}")),
-        };
-        match ToWorker::decode(&line)? {
-            ToWorker::Shutdown => return Ok(()),
-            ToWorker::Shard {
-                job,
-                shard,
-                list,
-                indices,
-                kernel,
-                config,
-            } => {
-                if !run_shard(
-                    &mut writer,
-                    job,
-                    shard,
-                    list,
-                    &indices,
-                    kernel,
-                    &config,
-                    &mut fuel,
-                )? {
-                    // Fuel exhausted mid-shard: die by dropping the
-                    // connection, exactly like a crash.
-                    return Ok(());
+/// Per-session knobs threaded into [`worker_loop`] (kept separate from
+/// [`WorkerOptions`] so in-memory tests can pin the heartbeat cadence).
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    pub config_epoch: u64,
+    pub heartbeat_interval: Duration,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        Self {
+            config_epoch: 0,
+            heartbeat_interval: Duration::from_millis(HEARTBEAT_MS),
+        }
+    }
+}
+
+/// Entry point for `rh-cli worker`.
+pub fn run_worker(opts: &WorkerOptions) -> Result<(), String> {
+    let mut base_plan = opts.fault_plan.clone();
+    base_plan.merge_exit_after_cells(opts.exit_after_cells);
+    let session = SessionOptions {
+        config_epoch: opts.config_epoch,
+        ..SessionOptions::default()
+    };
+    match &opts.connect {
+        Some(addr) => {
+            let mut backoff_rng = SplitMix64::new(derive_seed(base_plan.seed(), &[0xB0FF]));
+            let mut attempt: u32 = 0;
+            loop {
+                // A silent hangup (EOF without shutdown) or a failed
+                // connect is retryable; a reject never is.
+                let retryable_err = match connect_session(addr, &session, base_plan.clone()) {
+                    Ok(SessionEnd::Shutdown | SessionEnd::Crashed) => return Ok(()),
+                    Ok(SessionEnd::Rejected(reason)) => {
+                        return Err(format!(
+                            "worker: coordinator rejected this worker: {reason}"
+                        ))
+                    }
+                    Ok(SessionEnd::Eof) => None,
+                    Err(e) => Some(e),
+                };
+                if attempt >= opts.retries {
+                    return match retryable_err {
+                        None => Ok(()),
+                        Some(e) => Err(e),
+                    };
                 }
+                if let Some(e) = &retryable_err {
+                    eprintln!(
+                        "worker: attempt {}/{} failed ({e}), backing off",
+                        attempt + 1,
+                        opts.retries + 1
+                    );
+                }
+                let base = opts.backoff_base_ms.max(1);
+                let step = base
+                    .checked_shl(attempt.min(16))
+                    .unwrap_or(u64::MAX)
+                    .min(BACKOFF_CAP_MS);
+                let jitter = backoff_rng.gen_range(base);
+                std::thread::sleep(Duration::from_millis(step + jitter));
+                attempt += 1;
+            }
+        }
+        None => {
+            let stdin = std::io::stdin().lock();
+            // `Stdout` (not the lock) because the heartbeat thread needs the
+            // writer to be `Send`; each write_line locks internally.
+            let stdout = std::io::stdout();
+            let mut plan = base_plan;
+            match worker_loop(stdin, stdout, &session, &mut plan)? {
+                SessionEnd::Rejected(reason) => Err(format!(
+                    "worker: coordinator rejected this worker: {reason}"
+                )),
+                _ => Ok(()),
             }
         }
     }
 }
 
+fn connect_session(
+    addr: &str,
+    session: &SessionOptions,
+    mut plan: FaultPlan,
+) -> Result<SessionEnd, String> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| format!("worker: cannot connect to {addr}: {e}"))?;
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("worker: clone stream: {e}"))?,
+    );
+    worker_loop(reader, stream, session, &mut plan)
+}
+
+/// Heartbeat coordination between the protocol loop and its pulse thread:
+/// which lease is active (if any), and the stop flag for teardown.
+struct BeatState {
+    active: Option<(u64, u64)>,
+    stop: bool,
+}
+
+/// The worker protocol loop over any line-oriented transport. Returns how
+/// the session ended; `Err` is reserved for transport/protocol failures.
+pub fn worker_loop<R: BufRead, W: Write + Send>(
+    mut reader: R,
+    writer: W,
+    session: &SessionOptions,
+    plan: &mut FaultPlan,
+) -> Result<SessionEnd, String> {
+    // What `--kernel auto` resolves to on this host/environment — recorded
+    // by the coordinator per worker. Individual leases re-resolve their own
+    // request.
+    let default_kernel = KernelChoice::Auto.resolve()?;
+    if let Some(delay) = plan.connect_delay() {
+        std::thread::sleep(delay);
+    }
+
+    let writer = Mutex::new(writer);
+    let beat = Mutex::new(BeatState {
+        active: None,
+        stop: false,
+    });
+    let beat_wake = Condvar::new();
+
+    let out = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut st = beat.lock().unwrap();
+            loop {
+                let (next, _) = beat_wake
+                    .wait_timeout(st, session.heartbeat_interval)
+                    .unwrap();
+                st = next;
+                if st.stop {
+                    return;
+                }
+                if let Some((job, shard)) = st.active {
+                    // Heartbeats bypass the fault plan: line numbering must
+                    // not depend on timing. A write error here just means
+                    // the main loop is about to find out too.
+                    let pulse = FromWorker::Heartbeat { job, shard }.encode();
+                    let _ = write_line(&mut *writer.lock().unwrap(), &pulse);
+                }
+            }
+        });
+
+        let result = (|| {
+            let hello = FromWorker::Hello {
+                kernel: default_kernel.name().to_string(),
+                pid: u64::from(std::process::id()),
+                proto_version: PROTO_VERSION,
+                config_epoch: session.config_epoch,
+            };
+            send(&writer, plan, &hello.encode()).map_err(|e| format!("worker: hello: {e}"))?;
+
+            loop {
+                let line = match read_line(&mut reader) {
+                    Ok(Some(line)) => line,
+                    // Coordinator hung up without a shutdown.
+                    Ok(None) => return Ok(SessionEnd::Eof),
+                    Err(e) => return Err(format!("worker: read: {e}")),
+                };
+                match ToWorker::decode(&line)? {
+                    ToWorker::Shutdown => return Ok(SessionEnd::Shutdown),
+                    ToWorker::Reject { reason } => return Ok(SessionEnd::Rejected(reason)),
+                    ToWorker::Shard {
+                        job,
+                        shard,
+                        list,
+                        indices,
+                        kernel,
+                        config,
+                    } => {
+                        beat.lock().unwrap().active = Some((job, shard));
+                        let alive =
+                            run_shard(&writer, plan, job, shard, list, &indices, kernel, &config);
+                        beat.lock().unwrap().active = None;
+                        if !alive? {
+                            // Scheduled crash: die by dropping the
+                            // connection, exactly like a real crash.
+                            return Ok(SessionEnd::Crashed);
+                        }
+                    }
+                }
+            }
+        })();
+
+        beat.lock().unwrap().stop = true;
+        beat_wake.notify_all();
+        result
+    });
+    out
+}
+
+/// Write one protocol line through the fault plan (which may drop or garble
+/// it). Heartbeats never pass through here.
+fn send<W: Write>(writer: &Mutex<W>, plan: &mut FaultPlan, line: &str) -> std::io::Result<()> {
+    match plan.on_line(line) {
+        LineFate::Send => write_line(&mut *writer.lock().unwrap(), line),
+        LineFate::Drop => Ok(()),
+        LineFate::Garble(garbled) => write_line(&mut *writer.lock().unwrap(), &garbled),
+    }
+}
+
 /// Execute one lease, streaming results. Returns `Ok(false)` when the fault
-/// budget ran out (the caller drops the connection), `Ok(true)` after a
+/// plan's crash fired (the caller drops the connection), `Ok(true)` after a
 /// clean `shard_done` or `fail`.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<W: Write>(
-    writer: &mut W,
+    writer: &Mutex<W>,
+    plan: &mut FaultPlan,
     job: u64,
     shard: u64,
     list: ShardList,
     indices: &[usize],
     kernel: KernelChoice,
     config: &crate::sweep::SweepConfig,
-    fuel: &mut Option<u64>,
 ) -> Result<bool, String> {
-    let fail = |writer: &mut W, message: String| -> Result<bool, String> {
+    let fail = |plan: &mut FaultPlan, message: String| -> Result<bool, String> {
         let msg = FromWorker::Fail {
             job,
             shard,
             message,
         };
-        write_line(writer, &msg.encode()).map_err(|e| format!("worker: write: {e}"))?;
+        send(writer, plan, &msg.encode()).map_err(|e| format!("worker: write: {e}"))?;
         Ok(true)
     };
 
     let resolved = match kernel.resolve() {
         Ok(k) => k,
-        Err(e) => return fail(writer, e),
+        Err(e) => return fail(plan, e),
     };
-    let plan = match SweepPlan::from_config(config) {
+    let sweep_plan = match SweepPlan::from_config(config) {
         Ok(p) => p,
-        Err(e) => return fail(writer, e),
+        Err(e) => return fail(plan, e),
     };
     let cells = match list {
-        ShardList::Grid => &plan.grid,
-        ShardList::Para => &plan.para_sweep,
+        ShardList::Grid => &sweep_plan.grid,
+        ShardList::Para => &sweep_plan.para_sweep,
     };
     if let Some(&bad) = indices.iter().find(|&&i| i >= cells.len()) {
         return fail(
-            writer,
+            plan,
             format!(
                 "shard index {bad} out of bounds for {} list of {} cells",
                 list.name(),
@@ -166,10 +358,10 @@ fn run_shard<W: Write>(
     }
 
     let leased: Vec<_> = indices.iter().map(|&i| cells[i].clone()).collect();
-    let tables = build_table_cache(&plan, &leased);
+    let tables = build_table_cache(&sweep_plan, &leased);
     let mut runner = CellRunner::with_kernel(resolved);
     for (&index, cell) in indices.iter().zip(&leased) {
-        let result = runner.run_cell(&plan, cell, &tables);
+        let result = runner.run_cell(&sweep_plan, cell, &tables);
         let msg = FromWorker::Cell {
             job,
             shard,
@@ -177,12 +369,11 @@ fn run_shard<W: Write>(
             kernel: resolved.name().to_string(),
             result,
         };
-        write_line(writer, &msg.encode()).map_err(|e| format!("worker: write: {e}"))?;
-        if let Some(budget) = fuel.as_mut() {
-            *budget = budget.saturating_sub(1);
-            if *budget == 0 {
-                return Ok(false);
-            }
+        send(writer, plan, &msg.encode()).map_err(|e| format!("worker: write: {e}"))?;
+        match plan.on_cell() {
+            CellFate::Continue => {}
+            CellFate::Stall(pause) => std::thread::sleep(pause),
+            CellFate::Crash => return Ok(false),
         }
     }
     let done = FromWorker::ShardDone {
@@ -190,7 +381,7 @@ fn run_shard<W: Write>(
         shard,
         kernel: resolved.name().to_string(),
     };
-    write_line(writer, &done.encode()).map_err(|e| format!("worker: write: {e}"))?;
+    send(writer, plan, &done.encode()).map_err(|e| format!("worker: write: {e}"))?;
     Ok(true)
 }
 
@@ -212,24 +403,45 @@ mod tests {
         }
     }
 
+    /// A session whose heartbeat can never fire, so scripted outputs stay
+    /// exactly the protocol lines.
+    fn quiet_session() -> SessionOptions {
+        SessionOptions {
+            heartbeat_interval: Duration::from_secs(3_600),
+            ..SessionOptions::default()
+        }
+    }
+
     /// Drive the loop in-memory: feed scripted coordinator lines, collect
     /// the worker's output lines.
-    fn drive(script: &[String], fuel: Option<u64>) -> Vec<FromWorker> {
+    fn drive_plan(script: &[String], mut plan: FaultPlan) -> (Vec<FromWorker>, SessionEnd) {
         let input = script.join("\n") + "\n";
         let mut out: Vec<u8> = Vec::new();
-        worker_loop(Cursor::new(input.into_bytes()), &mut out, fuel).unwrap();
-        String::from_utf8(out)
+        let end = worker_loop(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &quiet_session(),
+            &mut plan,
+        )
+        .unwrap();
+        let msgs = String::from_utf8(out)
             .unwrap()
             .lines()
             .map(|l| FromWorker::decode(l).unwrap())
-            .collect()
+            .collect();
+        (msgs, end)
+    }
+
+    fn drive(script: &[String], plan: FaultPlan) -> Vec<FromWorker> {
+        drive_plan(script, plan).0
     }
 
     #[test]
     fn worker_says_hello_and_obeys_shutdown() {
-        let msgs = drive(&[ToWorker::Shutdown.encode()], None);
+        let (msgs, end) = drive_plan(&[ToWorker::Shutdown.encode()], FaultPlan::default());
         assert_eq!(msgs.len(), 1);
         assert!(matches!(&msgs[0], FromWorker::Hello { .. }));
+        assert_eq!(end, SessionEnd::Shutdown);
     }
 
     #[test]
@@ -245,7 +457,10 @@ mod tests {
             kernel: KernelChoice::Auto,
             config: cfg,
         };
-        let msgs = drive(&[lease.encode(), ToWorker::Shutdown.encode()], None);
+        let msgs = drive(
+            &[lease.encode(), ToWorker::Shutdown.encode()],
+            FaultPlan::default(),
+        );
         let cells: Vec<_> = msgs
             .iter()
             .filter_map(|m| match m {
@@ -277,7 +492,7 @@ mod tests {
     }
 
     #[test]
-    fn fuel_exhaustion_drops_connection_mid_shard() {
+    fn crash_fault_drops_connection_mid_shard() {
         let cfg = small_config();
         let plan = SweepPlan::from_config(&cfg).unwrap();
         assert!(plan.grid.len() > 3);
@@ -289,18 +504,91 @@ mod tests {
             kernel: KernelChoice::Auto,
             config: cfg,
         };
-        let msgs = drive(&[lease.encode(), ToWorker::Shutdown.encode()], Some(3));
+        let (msgs, end) = drive_plan(
+            &[lease.encode(), ToWorker::Shutdown.encode()],
+            FaultPlan::parse("crash-after-cells=3").unwrap(),
+        );
+        assert_eq!(end, SessionEnd::Crashed);
         let cells = msgs
             .iter()
             .filter(|m| matches!(m, FromWorker::Cell { .. }))
             .count();
-        assert_eq!(cells, 3, "exactly the fuel budget of cells must stream");
+        assert_eq!(cells, 3, "exactly the scheduled cells must stream");
         assert!(
             !msgs
                 .iter()
                 .any(|m| matches!(m, FromWorker::ShardDone { .. })),
             "a crashed shard must not be acknowledged"
         );
+    }
+
+    #[test]
+    fn legacy_exit_after_cells_still_crashes() {
+        let mut plan = FaultPlan::default();
+        plan.merge_exit_after_cells(Some(2));
+        let cfg = small_config();
+        let lease = ToWorker::Shard {
+            job: 1,
+            shard: 0,
+            list: ShardList::Grid,
+            indices: (0..SweepPlan::from_config(&cfg).unwrap().grid.len()).collect(),
+            kernel: KernelChoice::Auto,
+            config: cfg,
+        };
+        let (msgs, end) = drive_plan(&[lease.encode(), ToWorker::Shutdown.encode()], plan);
+        assert_eq!(end, SessionEnd::Crashed);
+        let cells = msgs
+            .iter()
+            .filter(|m| matches!(m, FromWorker::Cell { .. }))
+            .count();
+        assert_eq!(cells, 2);
+    }
+
+    #[test]
+    fn drop_and_garble_faults_shape_the_stream() {
+        let cfg = small_config();
+        let total = SweepPlan::from_config(&cfg).unwrap().grid.len();
+        assert!(total >= 3);
+        let lease = ToWorker::Shard {
+            job: 1,
+            shard: 0,
+            list: ShardList::Grid,
+            indices: (0..total).collect(),
+            kernel: KernelChoice::Auto,
+            config: cfg,
+        };
+        // Line 1 is the hello; line 2 (the first cell) is dropped, line 3
+        // (the second cell) is garbled.
+        let input = [lease.encode(), ToWorker::Shutdown.encode()].join("\n") + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        let mut plan = FaultPlan::parse("drop-line=2,garble-line=3").unwrap();
+        worker_loop(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &quiet_session(),
+            &mut plan,
+        )
+        .unwrap();
+        let lines: Vec<String> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        // hello + (total - 1 surviving cell lines, one of them garbled) +
+        // shard_done.
+        assert_eq!(lines.len(), 1 + (total - 1) + 1);
+        assert!(FromWorker::decode(&lines[0]).is_ok(), "hello survives");
+        assert!(
+            lines[1].starts_with('#'),
+            "the garbled line must be visibly corrupt: {}",
+            lines[1]
+        );
+        assert!(FromWorker::decode(&lines[1]).is_err());
+        let decoded_cells = lines
+            .iter()
+            .filter(|l| matches!(FromWorker::decode(l), Ok(FromWorker::Cell { .. })))
+            .count();
+        assert_eq!(decoded_cells, total - 2, "one dropped, one garbled");
     }
 
     #[test]
@@ -313,7 +601,10 @@ mod tests {
             kernel: KernelChoice::Auto,
             config: small_config(),
         };
-        let msgs = drive(&[lease.encode(), ToWorker::Shutdown.encode()], None);
+        let msgs = drive(
+            &[lease.encode(), ToWorker::Shutdown.encode()],
+            FaultPlan::default(),
+        );
         match &msgs[1] {
             FromWorker::Fail {
                 job: 9,
@@ -325,18 +616,98 @@ mod tests {
     }
 
     #[test]
-    fn hello_reports_the_host_default_kernel() {
-        let msgs = drive(&[ToWorker::Shutdown.encode()], None);
-        let FromWorker::Hello { kernel, pid } = &msgs[0] else {
+    fn hello_reports_kernel_version_and_epoch() {
+        let input = ToWorker::Shutdown.encode() + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        let session = SessionOptions {
+            config_epoch: 7,
+            heartbeat_interval: Duration::from_secs(3_600),
+        };
+        let mut plan = FaultPlan::default();
+        worker_loop(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &session,
+            &mut plan,
+        )
+        .unwrap();
+        let first = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_string();
+        let FromWorker::Hello {
+            kernel,
+            pid,
+            proto_version,
+            config_epoch,
+        } = FromWorker::decode(&first).unwrap()
+        else {
             panic!("first line must be hello");
         };
-        assert_eq!(*kernel, KernelChoice::Auto.resolve().unwrap().name());
-        assert_eq!(*pid, u64::from(std::process::id()));
+        assert_eq!(kernel, KernelChoice::Auto.resolve().unwrap().name());
+        assert_eq!(pid, u64::from(std::process::id()));
+        assert_eq!(proto_version, PROTO_VERSION);
+        assert_eq!(config_epoch, 7);
         // And the hello line is valid jsonl for the coordinator's parser.
-        let reparsed = proto::parse(&msgs[0].encode()).unwrap();
+        let reparsed = proto::parse(&first).unwrap();
         assert_eq!(
             reparsed.get("role").and_then(proto::Value::as_str),
             Some("worker")
         );
+    }
+
+    #[test]
+    fn reject_ends_the_session_without_retrying() {
+        let reject = ToWorker::Reject {
+            reason: "config epoch 0 != coordinator epoch 3".into(),
+        };
+        let (msgs, end) = drive_plan(&[reject.encode()], FaultPlan::default());
+        assert_eq!(msgs.len(), 1, "only the hello went out");
+        let SessionEnd::Rejected(reason) = end else {
+            panic!("expected rejection, got {end:?}");
+        };
+        assert!(reason.contains("epoch"), "{reason}");
+    }
+
+    #[test]
+    fn heartbeats_pulse_while_a_shard_stalls() {
+        let cfg = small_config();
+        let lease = ToWorker::Shard {
+            job: 5,
+            shard: 11,
+            list: ShardList::Grid,
+            indices: vec![0, 1],
+            kernel: KernelChoice::Auto,
+            config: cfg,
+        };
+        let input = [lease.encode(), ToWorker::Shutdown.encode()].join("\n") + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        let session = SessionOptions {
+            config_epoch: 0,
+            heartbeat_interval: Duration::from_millis(20),
+        };
+        // Stall 400ms after the first cell: the pulse thread gets ~20
+        // chances to fire while the lease is active.
+        let mut plan = FaultPlan::parse("stall-after-cells=1,stall-ms=400").unwrap();
+        worker_loop(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            &session,
+            &mut plan,
+        )
+        .unwrap();
+        let beats = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .filter(|l| {
+                matches!(
+                    FromWorker::decode(l),
+                    Ok(FromWorker::Heartbeat { job: 5, shard: 11 })
+                )
+            })
+            .count();
+        assert!(beats >= 1, "a stalled shard must still pulse heartbeats");
     }
 }

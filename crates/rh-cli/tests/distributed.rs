@@ -250,7 +250,7 @@ fn tcp_attached_workers_produce_identical_bytes() {
             std::thread::spawn(move || {
                 run_worker(&WorkerOptions {
                     connect: Some(addr),
-                    exit_after_cells: None,
+                    ..WorkerOptions::default()
                 })
             })
         })
