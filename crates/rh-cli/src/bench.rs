@@ -602,10 +602,41 @@ pub struct SaturationReport {
     pub activations_per_cell: u64,
     /// Cells per submitted job (grid + PARA sweep).
     pub cells_per_job: u64,
+    /// `std::thread::available_parallelism()` on the measuring host. A
+    /// flat worker ladder on a 1-CPU host is expected (the pools time-slice
+    /// one core), and readers of archived reports need the context to tell
+    /// that apart from a real scaling regression.
+    pub available_parallelism: usize,
     pub points: Vec<SaturationPoint>,
     pub peak_cells_per_sec: f64,
     /// Every pool size produced bytes identical to the in-process sweep.
     pub identical_bytes: bool,
+}
+
+/// Warn when the worker ladder cannot show scaling because the host has a
+/// single CPU: every pool size time-slices the same core, so a flat curve
+/// is the machine's fault, not the service's. Returns the warning to print
+/// (separated from `run_saturation` so the trigger condition is testable).
+fn flat_ladder_warning(parallelism: usize, points: &[SaturationPoint]) -> Option<String> {
+    if parallelism > 1 || points.len() < 2 {
+        return None;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+    for p in points {
+        lo = lo.min(p.cells_per_sec);
+        hi = hi.max(p.cells_per_sec);
+    }
+    // Less than 25% spread across the whole ladder counts as flat.
+    if lo > 0.0 && hi / lo < 1.25 {
+        Some(format!(
+            "saturation: worker ladder is flat (spread {:.2}x) on a host with \
+             available_parallelism=1 — pool sizes time-slice one core, so this \
+             measures overhead, not scaling",
+            hi / lo
+        ))
+    } else {
+        None
+    }
 }
 
 /// The saturation workload: the **default sweep config** — the exact job a
@@ -675,6 +706,11 @@ pub fn run_saturation(opts: &SaturationOptions) -> Result<SaturationReport, Stri
         });
     }
 
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Some(warning) = flat_ladder_warning(parallelism, &points) {
+        eprintln!("{warning}");
+    }
+
     Ok(SaturationReport {
         quick: opts.quick,
         rustc_version: tool_version("rustc", &["--version"]),
@@ -682,6 +718,7 @@ pub fn run_saturation(opts: &SaturationOptions) -> Result<SaturationReport, Stri
         kernel_request: opts.kernel,
         activations_per_cell: cfg.activations,
         cells_per_job,
+        available_parallelism: parallelism,
         points,
         peak_cells_per_sec: peak,
         identical_bytes: identical,
@@ -714,6 +751,7 @@ pub fn render_saturation(report: &SaturationReport) -> String {
          \"kernel_request\": {},\n  \
          \"activations_per_cell\": {},\n  \
          \"cells_per_job\": {},\n  \
+         \"available_parallelism\": {},\n  \
          \"points\": [\n{rows}  ],\n  \
          \"peak_cells_per_sec\": {},\n  \
          \"identical_bytes\": {}\n}}",
@@ -723,6 +761,7 @@ pub fn render_saturation(report: &SaturationReport) -> String {
         jstr(report.kernel_request.name()),
         report.activations_per_cell,
         report.cells_per_job,
+        report.available_parallelism,
         fnum(report.peak_cells_per_sec),
         report.identical_bytes,
     )
@@ -894,6 +933,7 @@ mod tests {
             kernel_request: KernelChoice::Scalar,
             activations_per_cell: 40_000,
             cells_per_job: 124,
+            available_parallelism: 4,
             points: vec![SaturationPoint {
                 workers: 2,
                 wall_secs: 0.5,
@@ -909,8 +949,31 @@ mod tests {
         assert!(s.contains("\"workers\": 2"));
         assert!(s.contains("\"cells_per_sec\": 248.000"));
         assert!(s.contains("\"kernel_request\": \"scalar\""));
+        assert!(s.contains("\"available_parallelism\": 4"));
         assert!(s.contains("\"identical_bytes\": true"));
         assert!(s.contains("local-1:scalar(54)"));
         assert!(!s.contains("NaN"));
+    }
+
+    #[test]
+    fn flat_ladder_warning_fires_only_on_single_cpu_flat_curves() {
+        let point = |workers: usize, cells_per_sec: f64| SaturationPoint {
+            workers,
+            wall_secs: 1.0,
+            cells_per_sec,
+            acts_per_sec: cells_per_sec * 1000.0,
+            worker_kernels: vec![],
+        };
+        let flat = vec![point(1, 100.0), point(2, 104.0), point(4, 98.0)];
+        let scaling = vec![point(1, 100.0), point(2, 190.0), point(4, 350.0)];
+        // Single CPU + flat curve: warn, naming the spread.
+        let warning = flat_ladder_warning(1, &flat).expect("flat ladder on 1 CPU must warn");
+        assert!(warning.contains("available_parallelism=1"), "{warning}");
+        // Real scaling, one CPU claimed: the curve speaks for itself.
+        assert_eq!(flat_ladder_warning(1, &scaling), None);
+        // Multi-CPU host: a flat curve is a real finding, not noise.
+        assert_eq!(flat_ladder_warning(4, &flat), None);
+        // A single point has no spread to judge.
+        assert_eq!(flat_ladder_warning(1, &flat[..1]), None);
     }
 }

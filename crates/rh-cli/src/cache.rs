@@ -62,6 +62,7 @@ pub struct ResultCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ResultCache {
@@ -72,6 +73,7 @@ impl ResultCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -109,6 +111,7 @@ impl ResultCache {
                 .map(|(k, _)| k)
             {
                 self.entries.remove(&victim);
+                self.evictions += 1;
             }
         }
         self.entries.insert(
@@ -137,6 +140,13 @@ impl ResultCache {
     /// Lifetime count of [`ResultCache::get`] calls that missed.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Lifetime count of entries pushed out by capacity pressure (surfaced
+    /// in every response envelope, so an undersized `--cache-capacity` is
+    /// observable instead of just slow).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     pub fn len(&self) -> usize {
@@ -466,6 +476,7 @@ mod tests {
         assert!(c.get((1, 0)).is_some(), "recently used must survive");
         assert_eq!(c.get((2, 0)), None, "LRU entry must be evicted");
         assert!(c.get((3, 0)).is_some());
+        assert_eq!(c.evictions(), 1, "the push-out must be counted");
     }
 
     #[test]
@@ -477,6 +488,7 @@ mod tests {
         assert_eq!(c.len(), 2, "refresh must not evict");
         assert_eq!(c.get((1, 0)).as_deref(), Some("a2"));
         assert_eq!(c.get((2, 0)).as_deref(), Some("b"));
+        assert_eq!(c.evictions(), 0, "a refresh is not an eviction");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::bench::{BenchOptions, SaturationOptions};
 use crate::faults::FaultPlan;
-use crate::serve::{ServeOptions, SubmitOptions};
+use crate::serve::{CancelOptions, ServeOptions, SubmitOptions};
 use crate::sweep::SweepConfig;
 use crate::worker::WorkerOptions;
 use rh_core::{DataPattern, KernelChoice};
@@ -24,11 +24,18 @@ USAGE:
                  [--cache-capacity <N>] [--checkpoint-dir <DIR>]
                  [--shard-cells <N>] [--cache-dir <DIR>] [--config-epoch <N>]
                  [--fallback-after-ms <MS>] [--speculate-after-ms <MS>]
-                 [--fault-plan <PLAN>]
+                 [--fault-plan <PLAN>] [--max-pending-jobs <N>]
+                 [--max-jobs-per-client <N>] [--max-cells-per-client <N>]
+                 [--target-lease-ms <MS>] [--handshake-timeout-ms <MS>]
+                 [--auth-token-file <PATH>]
     rh-cli worker [--connect <ADDR>] [--exit-after-cells <N>]
                   [--fault-plan <PLAN>] [--config-epoch <N>]
                   [--retry <N>] [--backoff-ms <MS>]
+                  [--auth-token-file <PATH>]
     rh-cli submit --connect <ADDR> [--timeout <SECS>]
+                  [--job-deadline-ms <MS>] [--auth-token-file <PATH>]
+    rh-cli cancel --connect <ADDR> --id <JOB> [--timeout <SECS>]
+                  [--auth-token-file <PATH>]
 
 SWEEP OPTIONS:
     --seed <N>              RNG seed for device + mitigations (default 0xC0FFEE)
@@ -111,9 +118,34 @@ SERVE OPTIONS:
                             duplicate results asserted bit-identical
                             (default 10000; 0 disables speculation)
     --fault-plan <PLAN>     coordinator-side fault injection; the useful
-                            directive here is corrupt-cache-record=N
+                            directives here are corrupt-cache-record=N
                             (clobber one byte of persistent record N before
-                            opening the cache)
+                            opening the cache), cancel-after-cells=N (cancel
+                            the owning job after the Nth merged cell) and
+                            slow-client=MS (delay every client reply)
+    --max-pending-jobs <N>  admission bound: submits past N unfinished jobs
+                            coordinator-wide get a clean reject naming
+                            queue_full (default 64)
+    --max-jobs-per-client <N> per-client concurrent unfinished-job quota;
+                            excess submits are rejected with
+                            client_job_quota (default 16)
+    --max-cells-per-client <N> per-client quota on queued (not yet merged)
+                            cells; rejects name client_cell_quota
+                            (default 1000000)
+    --target-lease-ms <MS>  adaptive shard sizing: widen or narrow leases
+                            so each takes about MS of wall time, using
+                            per-list EWMA cell times (PARA cells get much
+                            wider shards than grid cells); 0 restores the
+                            fixed --shard-cells width; merged output is
+                            byte-identical at any setting (default 1500)
+    --handshake-timeout-ms <MS> how long a fresh TCP connection gets to
+                            produce its first protocol line, which also
+                            bounds the auth challenge (default 10000)
+    --auth-token-file <PATH> shared secret file; when set, every TCP worker
+                            hello and client session must prove knowledge
+                            of the token (challenge/response, constant-time
+                            compare) or be rejected; local stdio workers
+                            spawned by this coordinator are exempt
 
 WORKER OPTIONS:
     --connect <ADDR>        attach to a coordinator over TCP (default:
@@ -134,17 +166,36 @@ WORKER OPTIONS:
                             backoff; a coordinator 'reject' is never
                             retried (default 0)
     --backoff-ms <MS>       base of the reconnect backoff (default 200)
+    --auth-token-file <PATH> shared secret file matching the coordinator's;
+                            proven in the hello (required when the
+                            coordinator was started with one)
 
 SUBMIT OPTIONS:
     --connect <ADDR>        coordinator address (required)
     --timeout <SECS>        bound the connect and each response wait; on
                             expiry submit exits nonzero naming the deadline
                             (default: wait forever)
+    --job-deadline-ms <MS>  stamp every submitted config with a deadline;
+                            the coordinator cancels jobs that outlive it
+                            and submit exits nonzero (default: none)
+    --auth-token-file <PATH> shared secret file; the session opens with an
+                            authenticated client hello before any submit
 
 submit reads jsonl sweep configs from stdin ('{}' is the default sweep),
 sends each to the coordinator, prints each returned merged document
 verbatim on stdout (byte-identical to 'rh-cli sweep' of the same config),
 and reports cache/worker metadata on stderr.
+
+CANCEL OPTIONS:
+    --connect <ADDR>        coordinator address (required)
+    --id <JOB>              job id given at submit time (required)
+    --timeout <SECS>        bound the connect and the acknowledgement wait
+    --auth-token-file <PATH> shared secret file, as for submit
+
+cancel asks the coordinator to kill one in-flight job: queued shards are
+dropped, leased shards are abandoned mid-shard by their workers, and the
+waiting submit fails with the cancellation message. Exits nonzero when the
+job is unknown or already finished.
 ";
 
 /// Fully parsed invocation: the sweep config plus execution options that
@@ -267,6 +318,20 @@ fn parse_saturation_args(args: &[String]) -> Result<BenchInvocation, String> {
     Ok(BenchInvocation::Saturation(opts))
 }
 
+/// Read a shared-secret token file for `--auth-token-file`: the secret is
+/// the file's contents with surrounding whitespace trimmed (so a trailing
+/// newline from `echo` never silently changes the token). Empty files are
+/// rejected — an empty shared secret authenticates nobody on purpose.
+fn read_token_file(path: &str) -> Result<String, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read --auth-token-file '{path}': {e}"))?;
+    let token = raw.trim();
+    if token.is_empty() {
+        return Err(format!("--auth-token-file '{path}' is empty"));
+    }
+    Ok(token.to_string())
+}
+
 /// Outcome of parsing the arguments after `serve`.
 #[derive(Debug, Clone)]
 pub enum ServeInvocation {
@@ -345,6 +410,58 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeInvocation, String> {
             "--fault-plan" => {
                 opts.fault_plan = FaultPlan::parse(&value(&mut i, "--fault-plan")?)?;
             }
+            "--max-pending-jobs" => {
+                let v = value(&mut i, "--max-pending-jobs")?;
+                opts.max_pending_jobs = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-pending-jobs '{v}'"))?;
+                if opts.max_pending_jobs == 0 {
+                    return Err("--max-pending-jobs must be at least 1".to_string());
+                }
+            }
+            "--max-jobs-per-client" => {
+                let v = value(&mut i, "--max-jobs-per-client")?;
+                opts.max_jobs_per_client = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-jobs-per-client '{v}'"))?;
+                if opts.max_jobs_per_client == 0 {
+                    return Err("--max-jobs-per-client must be at least 1".to_string());
+                }
+            }
+            "--max-cells-per-client" => {
+                let v = value(&mut i, "--max-cells-per-client")?;
+                opts.max_cells_per_client = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-cells-per-client '{v}'"))?;
+                if opts.max_cells_per_client == 0 {
+                    return Err("--max-cells-per-client must be at least 1".to_string());
+                }
+            }
+            "--target-lease-ms" => {
+                // 0 is meaningful here: it turns the adaptive sizer off and
+                // restores the fixed --shard-cells width.
+                let v = value(&mut i, "--target-lease-ms")?;
+                opts.target_lease_ms = v
+                    .parse()
+                    .map_err(|_| format!("invalid --target-lease-ms '{v}'"))?;
+            }
+            "--handshake-timeout-ms" => {
+                let v = value(&mut i, "--handshake-timeout-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --handshake-timeout-ms '{v}'"))?;
+                if ms == 0 {
+                    return Err(
+                        "--handshake-timeout-ms must be at least 1 (a zero deadline \
+                         would reject every connection before its first line)"
+                            .to_string(),
+                    );
+                }
+                opts.handshake_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--auth-token-file" => {
+                opts.auth_token = Some(read_token_file(&value(&mut i, "--auth-token-file")?)?);
+            }
             "-h" | "--help" => return Ok(ServeInvocation::Help),
             other => return Err(format!("unknown serve option '{other}'")),
         }
@@ -413,6 +530,9 @@ pub fn parse_worker_args(args: &[String]) -> Result<WorkerInvocation, String> {
                     return Err("--backoff-ms must be at least 1".to_string());
                 }
             }
+            "--auth-token-file" => {
+                opts.auth_token = Some(read_token_file(&value(&mut i, "--auth-token-file")?)?);
+            }
             "-h" | "--help" => return Ok(WorkerInvocation::Help),
             other => return Err(format!("unknown worker option '{other}'")),
         }
@@ -432,6 +552,8 @@ pub enum SubmitInvocation {
 pub fn parse_submit_args(args: &[String]) -> Result<SubmitInvocation, String> {
     let mut connect = None;
     let mut timeout = None;
+    let mut deadline_ms = None;
+    let mut auth_token = None;
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
@@ -450,13 +572,84 @@ pub fn parse_submit_args(args: &[String]) -> Result<SubmitInvocation, String> {
                 }
                 timeout = Some(std::time::Duration::from_secs(secs));
             }
+            "--job-deadline-ms" => {
+                let v = value(&mut i, "--job-deadline-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --job-deadline-ms '{v}'"))?;
+                if ms == 0 {
+                    return Err(
+                        "--job-deadline-ms must be at least 1 (omit the flag for no deadline)"
+                            .to_string(),
+                    );
+                }
+                deadline_ms = Some(ms);
+            }
+            "--auth-token-file" => {
+                auth_token = Some(read_token_file(&value(&mut i, "--auth-token-file")?)?);
+            }
             "-h" | "--help" => return Ok(SubmitInvocation::Help),
             other => return Err(format!("unknown submit option '{other}'")),
         }
         i += 1;
     }
     let connect = connect.ok_or("submit requires --connect <ADDR>")?;
-    Ok(SubmitInvocation::Submit(SubmitOptions { connect, timeout }))
+    Ok(SubmitInvocation::Submit(SubmitOptions {
+        connect,
+        timeout,
+        deadline_ms,
+        auth_token,
+    }))
+}
+
+/// Outcome of parsing the arguments after `cancel`.
+#[derive(Debug, Clone)]
+pub enum CancelInvocation {
+    Help,
+    Cancel(CancelOptions),
+}
+
+/// Parse the arguments following the `cancel` subcommand.
+pub fn parse_cancel_args(args: &[String]) -> Result<CancelInvocation, String> {
+    let mut connect = None;
+    let mut id = None;
+    let mut timeout = None;
+    let mut auth_token = None;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => connect = Some(value(&mut i, "--connect")?),
+            "--id" => id = Some(value(&mut i, "--id")?),
+            "--timeout" => {
+                let v = value(&mut i, "--timeout")?;
+                let secs: u64 = v.parse().map_err(|_| format!("invalid --timeout '{v}'"))?;
+                if secs == 0 {
+                    return Err("--timeout must be at least 1 second".to_string());
+                }
+                timeout = Some(std::time::Duration::from_secs(secs));
+            }
+            "--auth-token-file" => {
+                auth_token = Some(read_token_file(&value(&mut i, "--auth-token-file")?)?);
+            }
+            "-h" | "--help" => return Ok(CancelInvocation::Help),
+            other => return Err(format!("unknown cancel option '{other}'")),
+        }
+        i += 1;
+    }
+    let connect = connect.ok_or("cancel requires --connect <ADDR>")?;
+    let id = id.ok_or("cancel requires --id <JOB>")?;
+    Ok(CancelInvocation::Cancel(CancelOptions {
+        connect,
+        id,
+        timeout,
+        auth_token,
+    }))
 }
 
 /// Parse a comma-separated list, skipping empty items (so trailing commas
@@ -1083,6 +1276,174 @@ mod tests {
             "0".into()
         ])
         .is_err());
+    }
+
+    /// Write a token file into a scratch dir and return its path.
+    fn token_file(tag: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rh-cli-token-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("token");
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn job_manager_serve_flags_parse_and_reject() {
+        let token = token_file("serve", "sekrit\n");
+        let owned: Vec<String> = [
+            "--max-pending-jobs",
+            "3",
+            "--max-jobs-per-client",
+            "2",
+            "--max-cells-per-client",
+            "500",
+            "--target-lease-ms",
+            "0",
+            "--handshake-timeout-ms",
+            "1500",
+            "--auth-token-file",
+            token.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_serve_args(&owned).unwrap() {
+            ServeInvocation::Serve(o) => {
+                assert_eq!(o.max_pending_jobs, 3);
+                assert_eq!(o.max_jobs_per_client, 2);
+                assert_eq!(o.max_cells_per_client, 500);
+                assert_eq!(o.target_lease_ms, 0, "0 disables the adaptive sizer");
+                assert_eq!(o.handshake_timeout, std::time::Duration::from_millis(1500));
+                assert_eq!(o.auth_token.as_deref(), Some("sekrit"), "token is trimmed");
+            }
+            ServeInvocation::Help => panic!("unexpected help"),
+        }
+        // Defaults: admission on with generous bounds, adaptive sizing on,
+        // no auth.
+        match parse_serve_args(&[]).unwrap() {
+            ServeInvocation::Serve(o) => {
+                assert_eq!(o.max_pending_jobs, 64);
+                assert_eq!(o.max_jobs_per_client, 16);
+                assert_eq!(o.target_lease_ms, 1500);
+                assert_eq!(o.handshake_timeout, std::time::Duration::from_secs(10));
+                assert_eq!(o.auth_token, None);
+            }
+            ServeInvocation::Help => panic!("unexpected help"),
+        }
+        for bad in [
+            &["--max-pending-jobs", "0"][..],
+            &["--max-pending-jobs", "x"],
+            &["--max-jobs-per-client", "0"],
+            &["--max-cells-per-client", "0"],
+            &["--target-lease-ms", "soon"],
+            // A zero handshake deadline would reject every connection.
+            &["--handshake-timeout-ms", "0"],
+            &["--auth-token-file", "/nonexistent/rh-token"],
+        ] {
+            let owned: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                parse_serve_args(&owned).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+        // An empty (or whitespace-only) token file authenticates nobody.
+        let empty = token_file("serve-empty", " \n");
+        let owned: Vec<String> = ["--auth-token-file", empty.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = parse_serve_args(&owned).unwrap_err();
+        assert!(err.contains("empty"), "got '{err}'");
+    }
+
+    #[test]
+    fn auth_deadline_and_cancel_flags_parse_and_reject() {
+        let token = token_file("client", "hunter2");
+        // Worker side: the token lands in WorkerOptions.
+        let owned: Vec<String> = [
+            "--connect",
+            "127.0.0.1:9",
+            "--auth-token-file",
+            token.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_worker_args(&owned).unwrap() {
+            WorkerInvocation::Worker(o) => assert_eq!(o.auth_token.as_deref(), Some("hunter2")),
+            WorkerInvocation::Help => panic!("unexpected help"),
+        }
+        // Submit side: deadline and token.
+        let owned: Vec<String> = [
+            "--connect",
+            "127.0.0.1:9",
+            "--job-deadline-ms",
+            "2500",
+            "--auth-token-file",
+            token.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_submit_args(&owned).unwrap() {
+            SubmitInvocation::Submit(o) => {
+                assert_eq!(o.deadline_ms, Some(2500));
+                assert_eq!(o.auth_token.as_deref(), Some("hunter2"));
+            }
+            SubmitInvocation::Help => panic!("unexpected help"),
+        }
+        // Defaults stay off.
+        let owned: Vec<String> = ["--connect", "127.0.0.1:9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_submit_args(&owned).unwrap() {
+            SubmitInvocation::Submit(o) => {
+                assert_eq!(o.deadline_ms, None);
+                assert_eq!(o.auth_token, None);
+            }
+            SubmitInvocation::Help => panic!("unexpected help"),
+        }
+        assert!(parse_submit_args(&[
+            "--connect".into(),
+            "127.0.0.1:9".into(),
+            "--job-deadline-ms".into(),
+            "0".into()
+        ])
+        .is_err());
+
+        // Cancel verb.
+        let owned: Vec<String> = [
+            "--connect",
+            "127.0.0.1:9",
+            "--id",
+            "job-42",
+            "--timeout",
+            "5",
+            "--auth-token-file",
+            token.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_cancel_args(&owned).unwrap() {
+            CancelInvocation::Cancel(o) => {
+                assert_eq!(o.connect, "127.0.0.1:9");
+                assert_eq!(o.id, "job-42");
+                assert_eq!(o.timeout, Some(std::time::Duration::from_secs(5)));
+                assert_eq!(o.auth_token.as_deref(), Some("hunter2"));
+            }
+            CancelInvocation::Help => panic!("unexpected help"),
+        }
+        // Both --connect and --id are mandatory; bad flags are named.
+        assert!(parse_cancel_args(&[]).is_err());
+        assert!(parse_cancel_args(&["--connect".into(), "127.0.0.1:9".into()]).is_err());
+        assert!(parse_cancel_args(&["--id".into(), "job-42".into()]).is_err());
+        assert!(parse_cancel_args(&["--bogus".into()]).is_err());
+        assert!(matches!(
+            parse_cancel_args(&["--help".to_string()]),
+            Ok(CancelInvocation::Help)
+        ));
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! | `garble-line=N` | worker | corrupt the N-th outgoing protocol line |
 //! | `delay-connect-ms=MS` | worker | sleep before connecting / greeting |
 //! | `corrupt-cache-record=N` | coordinator | flip a byte in the N-th persistent-cache record at startup |
+//! | `wrong-token=1` | worker | present a corrupted auth proof in the hello |
+//! | `cancel-after-cells=N` | coordinator | cancel a job the moment its N-th cell merges |
+//! | `slow-client=MS` | coordinator | stall each client reply by MS (a slow-reading client) |
 //!
 //! Line counts cover the worker's *protocol* lines (hello, cells,
 //! shard_done, fail) in stream order; heartbeats ride a side thread and are
@@ -72,6 +75,9 @@ pub struct FaultPlan {
     garble_lines: Vec<u64>,
     delay_connect_millis: u64,
     corrupt_cache_records: Vec<u64>,
+    wrong_token: bool,
+    cancel_after_cells: Option<u64>,
+    slow_client_millis: u64,
     // Runtime counters (1-based: the first cell/line is number 1).
     cells_streamed: u64,
     lines_written: u64,
@@ -101,19 +107,28 @@ impl FaultPlan {
                 "corrupt-cache-record" => plan
                     .corrupt_cache_records
                     .push(num("corrupt-cache-record")?),
+                "wrong-token" => plan.wrong_token = num("wrong-token")? != 0,
+                "cancel-after-cells" => plan.cancel_after_cells = Some(num("cancel-after-cells")?),
+                "slow-client" => plan.slow_client_millis = num("slow-client")?,
                 other => {
                     return Err(format!(
                         "fault-plan: unknown directive '{other}' (expected seed, \
                          crash-after-cells, stall-after-cells, stall-ms, drop-line, \
-                         garble-line, delay-connect-ms, corrupt-cache-record)"
+                         garble-line, delay-connect-ms, corrupt-cache-record, \
+                         wrong-token, cancel-after-cells, slow-client)"
                     ))
                 }
             }
         }
-        for zero in ["crash-after-cells", "stall-after-cells"] {
+        for zero in [
+            "crash-after-cells",
+            "stall-after-cells",
+            "cancel-after-cells",
+        ] {
             let v = match zero {
                 "crash-after-cells" => plan.crash_after_cells,
-                _ => plan.stall_after_cells,
+                "stall-after-cells" => plan.stall_after_cells,
+                _ => plan.cancel_after_cells,
             };
             if v == Some(0) {
                 return Err(format!("fault-plan: {zero} must be at least 1"));
@@ -134,6 +149,9 @@ impl FaultPlan {
             && self.garble_lines.is_empty()
             && self.delay_connect_millis == 0
             && self.corrupt_cache_records.is_empty()
+            && !self.wrong_token
+            && self.cancel_after_cells.is_none()
+            && self.slow_client_millis == 0
     }
 
     /// Fold the legacy `--exit-after-cells N` knob into the plan; an
@@ -209,6 +227,25 @@ impl FaultPlan {
         &self.corrupt_cache_records
     }
 
+    /// Worker side: present a deliberately wrong auth proof in the hello,
+    /// exercising the coordinator's reject + `auth_failures` counter.
+    pub fn wrong_token(&self) -> bool {
+        self.wrong_token
+    }
+
+    /// Coordinator side: cancel a job the moment its N-th cell merges —
+    /// replays the mid-job `cancel` teardown without a second client.
+    pub fn cancel_after_cells(&self) -> Option<u64> {
+        self.cancel_after_cells
+    }
+
+    /// Coordinator side: delay before each client reply, simulating a
+    /// client that drains its socket slowly (per-connection threads must
+    /// keep other clients unaffected).
+    pub fn slow_client_delay(&self) -> Option<Duration> {
+        (self.slow_client_millis > 0).then(|| Duration::from_millis(self.slow_client_millis))
+    }
+
     /// Deterministically choose the byte to clobber inside record number
     /// `record` of length `len`, and the replacement. The replacement is
     /// never a newline (that would *split* the record instead of corrupting
@@ -239,18 +276,45 @@ mod tests {
     fn full_spec_round_trips_every_directive() {
         let plan = FaultPlan::parse(
             "seed=7, crash-after-cells=5, stall-after-cells=2, stall-ms=250, \
-             drop-line=3, garble-line=4, delay-connect-ms=10, corrupt-cache-record=1",
+             drop-line=3, garble-line=4, delay-connect-ms=10, corrupt-cache-record=1, \
+             wrong-token=1, cancel-after-cells=6, slow-client=20",
         )
         .unwrap();
         assert!(!plan.is_empty());
         assert_eq!(plan.connect_delay(), Some(Duration::from_millis(10)));
         assert_eq!(plan.corrupt_cache_records(), &[1]);
+        assert!(plan.wrong_token());
+        assert_eq!(plan.cancel_after_cells(), Some(6));
+        assert_eq!(plan.slow_client_delay(), Some(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn job_manager_directives_parse_individually() {
+        let plan = FaultPlan::parse("wrong-token=1").unwrap();
+        assert!(plan.wrong_token() && !plan.is_empty());
+        let plan = FaultPlan::parse("wrong-token=0").unwrap();
+        assert!(!plan.wrong_token() && plan.is_empty());
+        let plan = FaultPlan::parse("cancel-after-cells=2").unwrap();
+        assert_eq!(plan.cancel_after_cells(), Some(2));
+        let err = FaultPlan::parse("cancel-after-cells=0").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let plan = FaultPlan::parse("slow-client=15").unwrap();
+        assert_eq!(plan.slow_client_delay(), Some(Duration::from_millis(15)));
+        assert_eq!(
+            FaultPlan::parse("slow-client=0")
+                .unwrap()
+                .slow_client_delay(),
+            None
+        );
     }
 
     #[test]
     fn unknown_and_malformed_directives_are_rejected_with_names() {
         let err = FaultPlan::parse("explode=1").unwrap_err();
         assert!(err.contains("unknown directive 'explode'"), "{err}");
+        for named in ["wrong-token", "cancel-after-cells", "slow-client"] {
+            assert!(err.contains(named), "valid set must name {named}: {err}");
+        }
         let err = FaultPlan::parse("crash-after-cells").unwrap_err();
         assert!(err.contains("key=value"), "{err}");
         let err = FaultPlan::parse("stall-ms=soon").unwrap_err();

@@ -42,6 +42,8 @@ pub use engine::{run_experiment, RunResult};
 pub use faults::FaultPlan;
 pub use plan::{CellSeeds, CellSpec, SweepPlan};
 pub use proto::{config_hash, config_key, ResultEnvelope, PROTO_VERSION};
-pub use serve::{run_serve, run_submit, Coordinator, ServeOptions, SubmitOptions};
+pub use serve::{
+    run_cancel, run_serve, run_submit, CancelOptions, Coordinator, ServeOptions, SubmitOptions,
+};
 pub use sweep::{run_sweep, run_sweep_with_kernel, SweepConfig, SweepOutput};
 pub use worker::{run_worker, WorkerOptions};

@@ -4,10 +4,11 @@
 //! the library so both are unit-testable. See `rh-cli --help` for options.
 
 use rh_cli::cli::{
-    parse_args, parse_bench_args, parse_serve_args, parse_submit_args, parse_worker_args,
-    BenchInvocation, Invocation, ServeInvocation, SubmitInvocation, WorkerInvocation, USAGE,
+    parse_args, parse_bench_args, parse_cancel_args, parse_serve_args, parse_submit_args,
+    parse_worker_args, BenchInvocation, CancelInvocation, Invocation, ServeInvocation,
+    SubmitInvocation, WorkerInvocation, USAGE,
 };
-use rh_cli::{bench, json, run_serve, run_submit, run_sweep_with_kernel, run_worker};
+use rh_cli::{bench, json, run_cancel, run_serve, run_submit, run_sweep_with_kernel, run_worker};
 use std::process::ExitCode;
 
 fn run_bench_command(opts: &bench::BenchOptions) -> ExitCode {
@@ -143,6 +144,23 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Ok(SubmitInvocation::Submit(opts)) => match run_submit(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("cancel") => match parse_cancel_args(&args[1..]) {
+            Ok(CancelInvocation::Help) => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Ok(CancelInvocation::Cancel(opts)) => match run_cancel(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");

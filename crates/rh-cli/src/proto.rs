@@ -51,7 +51,11 @@ use std::io::{BufRead, Write};
 /// coordinator rejects a mismatched worker *before* leasing it anything: a
 /// version-skewed worker must fail loudly at attach time, never merge
 /// garbage. Bump on any incompatible message change.
-pub const PROTO_VERSION: u64 = 1;
+///
+/// Version 2 added mid-shard cancellation ([`ToWorker::Cancel`] /
+/// [`FromWorker::CancelAck`]) and the auth fields on the hello — a v1
+/// worker would silently ignore a cancel, so the mix is rejected.
+pub const PROTO_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // JSON value model + parser
@@ -554,6 +558,40 @@ pub fn config_key(cfg: &SweepConfig) -> (u64, u64) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared-secret authentication
+// ---------------------------------------------------------------------------
+
+/// Proof that a peer holds the coordinator's shared secret: the token and a
+/// peer-chosen nonce are folded through the workspace fingerprint twice
+/// (`H(H(token:nonce):token)`), so the proof reveals neither the token nor a
+/// trivially-extendable digest. The nonce binds the proof to one hello; the
+/// coordinator recomputes the expected proof from its own token file and
+/// compares with [`constant_time_eq`].
+pub fn auth_proof(token: &str, nonce: u64) -> String {
+    let inner = fnv1a64(format!("{token}:{nonce:#018x}").as_bytes());
+    format!(
+        "{:016x}",
+        fnv1a64(format!("{inner:016x}:{token}").as_bytes())
+    )
+}
+
+/// Constant-time byte comparison for auth proofs: every byte is examined
+/// regardless of where the first mismatch sits, so response timing leaks
+/// nothing about how much of a guessed proof was right. (Length is public —
+/// valid proofs are always 16 hex digits.)
+pub fn constant_time_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+// ---------------------------------------------------------------------------
 // RunResult codec (bit-exact)
 // ---------------------------------------------------------------------------
 
@@ -677,10 +715,16 @@ pub enum ToWorker {
         kernel: KernelChoice,
         config: SweepConfig,
     },
-    /// The coordinator refuses this worker (protocol-version or
-    /// config-epoch mismatch). Terminal: the worker must not retry the same
+    /// The coordinator refuses this worker (protocol-version, config-epoch,
+    /// or auth mismatch). Terminal: the worker must not retry the same
     /// coordinator — the skew will not heal on its own.
     Reject { reason: String },
+    /// The named job was cancelled (client verb or expired deadline): the
+    /// worker must abandon any remaining cells it holds for that job
+    /// mid-shard and answer with a [`FromWorker::CancelAck`]. Cells already
+    /// streamed stay merged (they were bit-exact); no requeue happens — the
+    /// job is dead, not rescheduled.
+    Cancel { job: u64 },
     /// Drain and exit.
     Shutdown,
 }
@@ -709,6 +753,7 @@ impl ToWorker {
             Self::Reject { reason } => {
                 format!("{{\"type\":\"reject\",\"reason\":{}}}", jstr(reason))
             }
+            Self::Cancel { job } => format!("{{\"type\":\"cancel\",\"job\":{job}}}"),
             Self::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
         }
     }
@@ -731,6 +776,9 @@ impl ToWorker {
             }),
             "reject" => Ok(Self::Reject {
                 reason: field_str(&v, "reason")?,
+            }),
+            "cancel" => Ok(Self::Cancel {
+                job: field_u64(&v, "job")?,
             }),
             "shutdown" => Ok(Self::Shutdown),
             other => Err(format!("unknown coordinator message type '{other}'")),
@@ -756,6 +804,14 @@ pub enum FromWorker {
         /// Operator-assigned config generation; must equal the
         /// coordinator's `--config-epoch`.
         config_epoch: u64,
+        /// Worker-chosen nonce the auth proof is bound to (seeded from the
+        /// fault-plan seed and pid, so chaos runs replay exactly). 0 when
+        /// the worker carries no token.
+        auth_nonce: u64,
+        /// [`auth_proof`] over the worker's token and `auth_nonce`; absent
+        /// when the worker was started without `--auth-token-file`. A
+        /// coordinator with a token rejects hellos that omit or flunk this.
+        auth_proof: Option<String>,
     },
     /// Liveness pulse emitted from a side thread while a shard executes, so
     /// the coordinator can tell a *computing* worker from a dead socket even
@@ -787,6 +843,10 @@ pub enum FromWorker {
         shard: u64,
         message: String,
     },
+    /// Acknowledges a [`ToWorker::Cancel`]: the worker abandoned the rest of
+    /// `shard` (its current lease for `job`) without executing it. The
+    /// coordinator retires the lease with no requeue.
+    CancelAck { job: u64, shard: u64 },
 }
 
 impl FromWorker {
@@ -797,11 +857,22 @@ impl FromWorker {
                 pid,
                 proto_version,
                 config_epoch,
-            } => format!(
-                "{{\"type\":\"hello\",\"role\":\"worker\",\"proto\":{proto_version},\
-                 \"config_epoch\":{config_epoch},\"kernel\":{},\"pid\":{pid}}}",
-                jstr(kernel)
-            ),
+                auth_nonce,
+                auth_proof,
+            } => {
+                let auth = match auth_proof {
+                    Some(proof) => format!(
+                        ",\"auth_nonce\":{auth_nonce},\"auth_proof\":{}",
+                        jstr(proof)
+                    ),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"type\":\"hello\",\"role\":\"worker\",\"proto\":{proto_version},\
+                     \"config_epoch\":{config_epoch},\"kernel\":{},\"pid\":{pid}{auth}}}",
+                    jstr(kernel)
+                )
+            }
             Self::Heartbeat { job, shard } => {
                 format!("{{\"type\":\"heartbeat\",\"job\":{job},\"shard\":{shard}}}")
             }
@@ -829,6 +900,9 @@ impl FromWorker {
                 "{{\"type\":\"fail\",\"job\":{job},\"shard\":{shard},\"message\":{}}}",
                 jstr(message)
             ),
+            Self::CancelAck { job, shard } => {
+                format!("{{\"type\":\"cancel_ack\",\"job\":{job},\"shard\":{shard}}}")
+            }
         }
     }
 
@@ -843,6 +917,11 @@ impl FromWorker {
                 // erroring out the whole line.
                 proto_version: v.get("proto").and_then(Value::as_u64).unwrap_or(0),
                 config_epoch: v.get("config_epoch").and_then(Value::as_u64).unwrap_or(0),
+                auth_nonce: v.get("auth_nonce").and_then(Value::as_u64).unwrap_or(0),
+                auth_proof: v
+                    .get("auth_proof")
+                    .and_then(Value::as_str)
+                    .map(String::from),
             }),
             "heartbeat" => Ok(Self::Heartbeat {
                 job: field_u64(&v, "job")?,
@@ -867,6 +946,10 @@ impl FromWorker {
                 shard: field_u64(&v, "shard")?,
                 message: field_str(&v, "message")?,
             }),
+            "cancel_ack" => Ok(Self::CancelAck {
+                job: field_u64(&v, "job")?,
+                shard: field_u64(&v, "shard")?,
+            }),
             other => Err(format!("unknown worker message type '{other}'")),
         }
     }
@@ -877,9 +960,19 @@ impl FromWorker {
 /// stream.
 #[derive(Debug, Clone)]
 pub enum ClientMsg {
+    /// Optional first line authenticating the connection when the
+    /// coordinator holds a shared secret; the client analogue of the worker
+    /// hello's auth fields. Answered with `{"type":"hello_ok"}` on success.
+    Hello {
+        auth_nonce: u64,
+        auth_proof: String,
+    },
     Submit {
         id: Option<String>,
         config: SweepConfig,
+        /// Wall-clock budget for the job; past it the coordinator cancels
+        /// the job and answers with an error line instead of a result.
+        deadline_ms: Option<u64>,
     },
     Cancel {
         id: String,
@@ -887,16 +980,54 @@ pub enum ClientMsg {
 }
 
 impl ClientMsg {
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Hello {
+                auth_nonce,
+                auth_proof,
+            } => format!(
+                "{{\"type\":\"client_hello\",\"auth_nonce\":{auth_nonce},\
+                 \"auth_proof\":{}}}",
+                jstr(auth_proof)
+            ),
+            Self::Submit {
+                id,
+                config,
+                deadline_ms,
+            } => {
+                let id_part = match id {
+                    Some(id) => format!("\"id\":{},", jstr(id)),
+                    None => String::new(),
+                };
+                let deadline_part = match deadline_ms {
+                    Some(ms) => format!("\"deadline_ms\":{ms},"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"type\":\"submit\",{id_part}{deadline_part}\"config\":{}}}",
+                    config_to_json(config)
+                )
+            }
+            Self::Cancel { id } => format!("{{\"type\":\"cancel\",\"id\":{}}}", jstr(id)),
+        }
+    }
+
     pub fn decode(line: &str) -> Result<Self, String> {
         let v = parse(line)?;
         match v.get("type").and_then(Value::as_str) {
             None => Ok(Self::Submit {
                 id: None,
                 config: config_from_value(&v)?,
+                deadline_ms: None,
+            }),
+            Some("client_hello") => Ok(Self::Hello {
+                auth_nonce: v.get("auth_nonce").and_then(Value::as_u64).unwrap_or(0),
+                auth_proof: field_str(&v, "auth_proof")?,
             }),
             Some("submit") => Ok(Self::Submit {
                 id: v.get("id").and_then(Value::as_str).map(String::from),
                 config: config_from_value(field(&v, "config")?)?,
+                deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
             }),
             Some("cancel") => Ok(Self::Cancel {
                 id: field_str(&v, "id")?,
@@ -943,6 +1074,23 @@ pub struct ResultEnvelope {
     /// recovery) — every one was asserted bit-exact against the slot it
     /// duplicated before being counted.
     pub duplicate_cells: u64,
+    /// LRU result-cache evictions over the coordinator's lifetime.
+    pub evictions: u64,
+    /// Jobs admitted and not yet finished when this response was built —
+    /// the depth of the admission queue the job just left.
+    pub queue_depth: u64,
+    /// Milliseconds this job spent admitted-but-unstarted (queue wait:
+    /// admission to first merged or restored cell). 0 for cache hits.
+    pub queue_wait_ms: u64,
+    /// Coordinator-lifetime submits refused by admission control (queue
+    /// full or a per-client quota).
+    pub rejected_submits: u64,
+    /// Coordinator-lifetime hellos (worker or client) that flunked the
+    /// shared-secret check.
+    pub auth_failures: u64,
+    /// Coordinator-lifetime jobs torn down by `cancel` or an expired
+    /// deadline.
+    pub cancelled_jobs: u64,
     pub workers: Vec<WorkerStat>,
     /// The merged sweep document — byte-identical to `rh-cli sweep` run
     /// in-process with the same config.
@@ -967,7 +1115,9 @@ impl ResultEnvelope {
             "{{\"type\":\"result\",\"id\":{},\"config_hash\":{},\"seed\":{},\
              \"served_from_cache\":{},\"coalesced\":{},\"cache_hits\":{},\
              \"executed_cells\":{},\"checkpoint_cells\":{},\"checkpoint_skipped\":{},\
-             \"speculations\":{},\"duplicate_cells\":{},\"workers\":[{}],\
+             \"speculations\":{},\"duplicate_cells\":{},\"evictions\":{},\
+             \"queue_depth\":{},\"queue_wait_ms\":{},\"rejected_submits\":{},\
+             \"auth_failures\":{},\"cancelled_jobs\":{},\"workers\":[{}],\
              \"document\":{}}}",
             jstr(&self.id),
             jstr(&format!("{:#018x}", self.config_hash)),
@@ -980,6 +1130,12 @@ impl ResultEnvelope {
             self.checkpoint_skipped,
             self.speculations,
             self.duplicate_cells,
+            self.evictions,
+            self.queue_depth,
+            self.queue_wait_ms,
+            self.rejected_submits,
+            self.auth_failures,
+            self.cancelled_jobs,
             workers.join(","),
             jstr(&self.document),
         )
@@ -990,6 +1146,9 @@ impl ResultEnvelope {
         match field_str(&v, "type")?.as_str() {
             "result" => {}
             "error" => return Err(field_str(&v, "message")?),
+            // Admission-control / auth refusal: surface the reason verbatim
+            // so `rh-cli submit` exits nonzero with it on stderr.
+            "reject" => return Err(format!("rejected: {}", field_str(&v, "reason")?)),
             other => return Err(format!("unexpected response type '{other}'")),
         }
         let hash_text = field_str(&v, "config_hash")?;
@@ -1031,6 +1190,16 @@ impl ResultEnvelope {
                 .get("duplicate_cells")
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
+            // PR 9 counters: absent on older envelopes, decode as 0.
+            evictions: v.get("evictions").and_then(Value::as_u64).unwrap_or(0),
+            queue_depth: v.get("queue_depth").and_then(Value::as_u64).unwrap_or(0),
+            queue_wait_ms: v.get("queue_wait_ms").and_then(Value::as_u64).unwrap_or(0),
+            rejected_submits: v
+                .get("rejected_submits")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            auth_failures: v.get("auth_failures").and_then(Value::as_u64).unwrap_or(0),
+            cancelled_jobs: v.get("cancelled_jobs").and_then(Value::as_u64).unwrap_or(0),
             workers,
             document: field_str(&v, "document")?,
         })
@@ -1044,6 +1213,14 @@ pub fn encode_error(id: &str, message: &str) -> String {
         jstr(id),
         jstr(message)
     )
+}
+
+/// Coordinator → client admission/auth refusal line. Distinct from an
+/// error: nothing went wrong — the coordinator chose not to take the work
+/// (`queue_full`, `client_job_quota`, `client_cell_quota`, `auth_failed`),
+/// and the client may retry later (except `auth_failed`).
+pub fn encode_reject(reason: &str) -> String {
+    format!("{{\"type\":\"reject\",\"reason\":{}}}", jstr(reason))
 }
 
 // ---------------------------------------------------------------------------
@@ -1322,6 +1499,8 @@ mod tests {
             pid: 42,
             proto_version: PROTO_VERSION,
             config_epoch: 9,
+            auth_nonce: 0,
+            auth_proof: None,
         };
         assert!(matches!(
             FromWorker::decode(&hello.encode()).unwrap(),
@@ -1360,11 +1539,71 @@ mod tests {
     }
 
     #[test]
+    fn cancel_messages_round_trip() {
+        let cancel = ToWorker::Cancel { job: 17 };
+        assert!(matches!(
+            ToWorker::decode(&cancel.encode()).unwrap(),
+            ToWorker::Cancel { job: 17 }
+        ));
+        let ack = FromWorker::CancelAck { job: 17, shard: 4 };
+        assert!(matches!(
+            FromWorker::decode(&ack.encode()).unwrap(),
+            FromWorker::CancelAck { job: 17, shard: 4 }
+        ));
+    }
+
+    #[test]
+    fn authenticated_hello_round_trips() {
+        let proof = auth_proof("hunter2", 0xABCD);
+        let hello = FromWorker::Hello {
+            kernel: "scalar".into(),
+            pid: 7,
+            proto_version: PROTO_VERSION,
+            config_epoch: 0,
+            auth_nonce: 0xABCD,
+            auth_proof: Some(proof.clone()),
+        };
+        match FromWorker::decode(&hello.encode()).unwrap() {
+            FromWorker::Hello {
+                auth_nonce,
+                auth_proof,
+                ..
+            } => {
+                assert_eq!(auth_nonce, 0xABCD);
+                assert_eq!(auth_proof.as_deref(), Some(proof.as_str()));
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auth_proof_binds_token_and_nonce() {
+        let p = auth_proof("secret", 1);
+        assert_eq!(p, auth_proof("secret", 1), "proof must be deterministic");
+        assert_ne!(p, auth_proof("secret", 2), "nonce must move the proof");
+        assert_ne!(p, auth_proof("Secret", 1), "token must move the proof");
+        assert_eq!(p.len(), 16, "proofs are 16 hex digits");
+    }
+
+    #[test]
+    fn constant_time_eq_matches_plain_equality() {
+        assert!(constant_time_eq("abcd", "abcd"));
+        assert!(!constant_time_eq("abcd", "abce"));
+        assert!(!constant_time_eq("abcd", "abc"));
+        assert!(constant_time_eq("", ""));
+    }
+
+    #[test]
     fn client_messages_accept_bare_configs() {
         match ClientMsg::decode(r#"{"activations": 5000}"#).unwrap() {
-            ClientMsg::Submit { id, config } => {
+            ClientMsg::Submit {
+                id,
+                config,
+                deadline_ms,
+            } => {
                 assert_eq!(id, None);
                 assert_eq!(config.activations, 5000);
+                assert_eq!(deadline_ms, None);
             }
             other => panic!("decoded wrong variant: {other:?}"),
         }
@@ -1377,6 +1616,45 @@ mod tests {
             ClientMsg::Cancel { .. }
         ));
         assert!(ClientMsg::decode(r#"{"type":"bogus"}"#).is_err());
+    }
+
+    #[test]
+    fn client_messages_round_trip_through_encode() {
+        let submit = ClientMsg::Submit {
+            id: Some("j7".into()),
+            config: SweepConfig::default(),
+            deadline_ms: Some(1500),
+        };
+        match ClientMsg::decode(&submit.encode()).unwrap() {
+            ClientMsg::Submit {
+                id,
+                config,
+                deadline_ms,
+            } => {
+                assert_eq!(id.as_deref(), Some("j7"));
+                assert_eq!(deadline_ms, Some(1500));
+                assert_eq!(config_key(&config), config_key(&SweepConfig::default()));
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+        let hello = ClientMsg::Hello {
+            auth_nonce: 9,
+            auth_proof: auth_proof("tok", 9),
+        };
+        match ClientMsg::decode(&hello.encode()).unwrap() {
+            ClientMsg::Hello {
+                auth_nonce,
+                auth_proof,
+            } => {
+                assert_eq!(auth_nonce, 9);
+                assert_eq!(auth_proof, super::auth_proof("tok", 9));
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+        match ClientMsg::decode(&ClientMsg::Cancel { id: "j7".into() }.encode()).unwrap() {
+            ClientMsg::Cancel { id } => assert_eq!(id, "j7"),
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
     }
 
     #[test]
@@ -1393,6 +1671,12 @@ mod tests {
             checkpoint_skipped: 2,
             speculations: 1,
             duplicate_cells: 5,
+            evictions: 6,
+            queue_depth: 2,
+            queue_wait_ms: 120,
+            rejected_submits: 3,
+            auth_failures: 1,
+            cancelled_jobs: 2,
             workers: vec![WorkerStat {
                 worker: "local-0".into(),
                 kernel: "scalar".into(),
@@ -1409,10 +1693,40 @@ mod tests {
         assert_eq!(back.checkpoint_skipped, 2);
         assert_eq!(back.speculations, 1);
         assert_eq!(back.duplicate_cells, 5);
+        assert_eq!(back.evictions, 6);
+        assert_eq!(back.queue_depth, 2);
+        assert_eq!(back.queue_wait_ms, 120);
+        assert_eq!(back.rejected_submits, 3);
+        assert_eq!(back.auth_failures, 1);
+        assert_eq!(back.cancelled_jobs, 2);
         assert_eq!(
             back.document, env.document,
             "document must survive escaping"
         );
+    }
+
+    #[test]
+    fn pre_pr9_envelope_decodes_with_zero_counters() {
+        // The PR 8 envelope shape: none of the job-manager counters. They
+        // must decode as 0, not fail the line.
+        let legacy = "{\"type\":\"result\",\"id\":\"j\",\"config_hash\":\"0x0000000000000001\",\
+                      \"seed\":1,\"served_from_cache\":false,\"coalesced\":false,\
+                      \"cache_hits\":0,\"executed_cells\":4,\"checkpoint_cells\":0,\
+                      \"workers\":[],\"document\":\"{}\"}";
+        let env = ResultEnvelope::decode(legacy).unwrap();
+        assert_eq!(env.evictions, 0);
+        assert_eq!(env.queue_depth, 0);
+        assert_eq!(env.queue_wait_ms, 0);
+        assert_eq!(env.rejected_submits, 0);
+        assert_eq!(env.auth_failures, 0);
+        assert_eq!(env.cancelled_jobs, 0);
+    }
+
+    #[test]
+    fn reject_line_decodes_to_err_with_reason() {
+        let line = encode_reject("queue_full");
+        let err = ResultEnvelope::decode(&line).unwrap_err();
+        assert!(err.contains("queue_full"), "reason must survive: {err}");
     }
 
     #[test]
@@ -1445,5 +1759,167 @@ mod tests {
         let mut input = std::io::Cursor::new(b"\n\n{\"a\":1}\n".to_vec());
         assert_eq!(read_line(&mut input).unwrap().as_deref(), Some("{\"a\":1}"));
         assert_eq!(read_line(&mut input).unwrap(), None);
+    }
+
+    // -- Seeded no-panic fuzz (satellite): byte-level mutations of valid
+    // protocol lines must come back as Err, never a panic. --
+
+    /// Every wire shape the service exchanges, as encoded by this codec.
+    fn valid_protocol_lines() -> Vec<String> {
+        let result = RunResult {
+            workload: "many_sided(n=2)".into(),
+            mitigation: "para(p=0.5)".into(),
+            hc_first: 500,
+            data_pattern: "solid".into(),
+            activations: 2000,
+            total_flips: 3,
+            flipped_rows: 2,
+            flips_per_mact: 0.1 + 0.2,
+            refreshes_issued: 1,
+            flips_1to0: 2,
+            flips_0to1: 1,
+            post_ecc_flips: None,
+        };
+        vec![
+            ToWorker::Shard {
+                job: 1,
+                shard: 2,
+                list: ShardList::Grid,
+                indices: vec![0, 1, 7],
+                kernel: KernelChoice::Auto,
+                config: SweepConfig::default(),
+            }
+            .encode(),
+            ToWorker::Reject {
+                reason: "nope".into(),
+            }
+            .encode(),
+            ToWorker::Cancel { job: 3 }.encode(),
+            ToWorker::Shutdown.encode(),
+            FromWorker::Hello {
+                kernel: "scalar".into(),
+                pid: 99,
+                proto_version: PROTO_VERSION,
+                config_epoch: 1,
+                auth_nonce: 0xFEED,
+                auth_proof: Some(auth_proof("tok", 0xFEED)),
+            }
+            .encode(),
+            FromWorker::Heartbeat { job: 1, shard: 2 }.encode(),
+            FromWorker::Cell {
+                job: 1,
+                shard: 2,
+                index: 5,
+                kernel: "scalar".into(),
+                result: result.clone(),
+            }
+            .encode(),
+            FromWorker::ShardDone {
+                job: 1,
+                shard: 2,
+                kernel: "scalar".into(),
+            }
+            .encode(),
+            FromWorker::CancelAck { job: 1, shard: 2 }.encode(),
+            ClientMsg::Submit {
+                id: Some("j1".into()),
+                config: SweepConfig::default(),
+                deadline_ms: Some(250),
+            }
+            .encode(),
+            ClientMsg::Hello {
+                auth_nonce: 4,
+                auth_proof: auth_proof("tok", 4),
+            }
+            .encode(),
+            ResultEnvelope {
+                id: "j1".into(),
+                config_hash: 1,
+                seed: 2,
+                served_from_cache: false,
+                coalesced: false,
+                cache_hits: 0,
+                executed_cells: 8,
+                checkpoint_cells: 0,
+                checkpoint_skipped: 0,
+                speculations: 0,
+                duplicate_cells: 0,
+                evictions: 0,
+                queue_depth: 1,
+                queue_wait_ms: 0,
+                rejected_submits: 0,
+                auth_failures: 0,
+                cancelled_jobs: 0,
+                workers: vec![],
+                document: format!("{{\"grid\":[{}]}}", result_to_json(&result)),
+            }
+            .encode(),
+            encode_error("j1", "boom"),
+            encode_reject("queue_full"),
+        ]
+    }
+
+    /// Feed one (possibly mangled) line to every decoder. The assertion is
+    /// in getting back at all: any panic fails the test.
+    fn exercise_decoders(line: &str) {
+        let _ = parse(line);
+        let _ = ToWorker::decode(line);
+        let _ = FromWorker::decode(line);
+        let _ = ClientMsg::decode(line);
+        let _ = ResultEnvelope::decode(line);
+    }
+
+    #[test]
+    fn fuzz_truncated_lines_err_and_never_panic() {
+        // Any proper byte-prefix of a minified JSON object is unbalanced,
+        // so truncation must always come back Err — from every decoder.
+        let mut rng = rh_core::SplitMix64::new(0xF022_0001);
+        for line in valid_protocol_lines() {
+            let bytes = line.as_bytes();
+            for _ in 0..64 {
+                let cut = (rng.gen_range(bytes.len() as u64)) as usize;
+                let truncated = String::from_utf8_lossy(&bytes[..cut]).into_owned();
+                assert!(
+                    parse(&truncated).is_err(),
+                    "truncation of '{line}' at {cut} must not parse"
+                );
+                exercise_decoders(&truncated);
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_clobbered_and_spliced_lines_never_panic() {
+        let lines = valid_protocol_lines();
+        let mut rng = rh_core::SplitMix64::new(0xF022_0002);
+        for line in &lines {
+            for _ in 0..128 {
+                let mut bytes = line.as_bytes().to_vec();
+                match rng.gen_range(3) {
+                    // Clobber: overwrite a byte with an arbitrary one.
+                    0 => {
+                        let at = rng.gen_range(bytes.len() as u64) as usize;
+                        bytes[at] = (rng.next_u64() & 0xFF) as u8;
+                    }
+                    // Splice: paste a random slice of another valid line
+                    // into the middle of this one.
+                    1 => {
+                        let donor = lines[rng.gen_range(lines.len() as u64) as usize].as_bytes();
+                        let from = rng.gen_range(donor.len() as u64) as usize;
+                        let to = from + rng.gen_range((donor.len() - from) as u64 + 1) as usize;
+                        let at = rng.gen_range(bytes.len() as u64 + 1) as usize;
+                        bytes.splice(at..at, donor[from..to].iter().copied());
+                    }
+                    // Delete a span.
+                    _ => {
+                        let from = rng.gen_range(bytes.len() as u64) as usize;
+                        let to = from + rng.gen_range((bytes.len() - from) as u64 + 1) as usize;
+                        bytes.drain(from..to);
+                    }
+                }
+                let mangled = String::from_utf8_lossy(&bytes).into_owned();
+                exercise_decoders(&mangled);
+            }
+        }
     }
 }

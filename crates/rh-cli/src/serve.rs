@@ -38,6 +38,29 @@
 //!   coordinator that falls behind stops draining, the worker's writes
 //!   stall, and the pipeline self-throttles — no unbounded buffering
 //!   anywhere.
+//! * **Admission control**: the job queue is bounded (`--max-pending-jobs`)
+//!   and each client identity is bounded in concurrent jobs and queued
+//!   cells; a submit over any bound gets a clean
+//!   `{"type":"reject","reason":...}` line instead of an unbounded wait,
+//!   observable via `rejected_submits` in later envelopes.
+//! * **Deadlines & cancellation**: `submit --job-deadline-ms` expires a
+//!   job that hasn't merged in time, and `rh-cli cancel <id>` kills one
+//!   mid-flight. Either way workers are told to abandon the job's cells
+//!   *mid-shard* (a `cancel` lease message, acknowledged with
+//!   `cancel_ack`, never requeued) instead of burning the rest of the
+//!   lease.
+//! * **Adaptive shard sizing**: lease width is driven by a smoothed
+//!   per-cell wall time kept per cell list, targeting a fixed wall time
+//!   per lease (`--target-lease-ms`, 0 = fixed `--shard-cells` width).
+//!   Cheap PARA cells get proportionally wider shards, shrinking
+//!   straggler exposure; the merge is slot-addressed, so any width yields
+//!   byte-identical output.
+//! * **Authentication**: with `--auth-token-file`, worker hellos and
+//!   client sessions must carry a proof derived from the shared token and
+//!   a caller-chosen nonce ([`proto::auth_proof`], compared in constant
+//!   time). Failures are rejected cleanly and counted. Coordinator-spawned
+//!   stdio workers are exempt — the pipe itself is the trust boundary;
+//!   auth guards the TCP front door.
 
 use crate::cache::{corrupt_cache_segments, PersistentCache, ResultCache};
 use crate::engine::RunResult;
@@ -50,7 +73,7 @@ use crate::proto::{
 };
 use crate::sweep::{SweepConfig, SweepOutput};
 use rh_core::KernelChoice;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
@@ -117,6 +140,24 @@ pub struct ServeOptions {
     /// Floor of the straggler deadline for speculative re-execution;
     /// `None` disables speculation.
     pub speculate_after: Option<Duration>,
+    /// Admission bound: maximum unfinished jobs coordinator-wide; a submit
+    /// past it is rejected with reason `queue_full`.
+    pub max_pending_jobs: usize,
+    /// Per-client bound on concurrent unfinished jobs (`client_job_quota`).
+    pub max_jobs_per_client: usize,
+    /// Per-client bound on queued (not yet merged) cells across that
+    /// client's unfinished jobs (`client_cell_quota`).
+    pub max_cells_per_client: usize,
+    /// Wall-time target per lease in milliseconds for the adaptive shard
+    /// sizer; `0` disables it and restores the fixed `shard_cells` width.
+    pub target_lease_ms: u64,
+    /// How long a fresh TCP connection gets to produce its first line
+    /// (also the auth-challenge deadline, since the proof rides that
+    /// first line).
+    pub handshake_timeout: Duration,
+    /// Shared secret for worker/client authentication; `None` (default)
+    /// accepts anyone, as before.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -135,6 +176,12 @@ impl Default for ServeOptions {
             fallback_after: None,
             config_epoch: 0,
             speculate_after: Some(Duration::from_secs(10)),
+            max_pending_jobs: 64,
+            max_jobs_per_client: 16,
+            max_cells_per_client: 1_000_000,
+            target_lease_ms: 1_500,
+            handshake_timeout: Duration::from_secs(10),
+            auth_token: None,
         }
     }
 }
@@ -159,6 +206,9 @@ struct ActiveLease {
     last_progress: Instant,
     /// Already re-leased once; never speculate the same lease twice.
     speculated: bool,
+    /// Which worker holds the lease — keys the per-worker EWMA the
+    /// straggler deadline prefers over the global one.
+    worker: String,
 }
 
 struct Job {
@@ -179,6 +229,15 @@ struct Job {
     duplicate_cells: u64,
     /// Worker name → (resolved kernel, cells contributed).
     workers: BTreeMap<String, (String, u64)>,
+    /// Which client identity admitted this job (quota accounting).
+    client: String,
+    /// Wall-clock bound from `submit --job-deadline-ms`; an unmerged job
+    /// past it is expired exactly like a cancel.
+    deadline: Option<Instant>,
+    /// When the job was admitted; anchors `queue_wait_ms`.
+    admitted_at: Instant,
+    /// Admission → first merged/restored cell, for the envelope.
+    queue_wait_ms: Option<u64>,
     done: Option<JobOutcome>,
 }
 
@@ -206,6 +265,13 @@ struct State {
     /// Smoothed per-cell wall time (milliseconds), fed by cell arrivals;
     /// the adaptive half of the straggler deadline.
     ewma_cell_millis: Option<f64>,
+    /// Per-worker smoothed cell time — sharper straggler deadlines than
+    /// the global EWMA on heterogeneous pools.
+    worker_ewma_ms: HashMap<String, f64>,
+    /// Per-list smoothed cell time (`[grid, para]`), feeding the adaptive
+    /// shard sizer: PARA cells run ~40× cheaper than grid cells, so one
+    /// blended number would size both lists wrong.
+    list_ewma_ms: [Option<f64>; 2],
     next_job: u64,
     next_shard: u64,
     /// Workers currently connected (past hello + vetting).
@@ -221,6 +287,15 @@ struct State {
     rejected_workers: u64,
     /// Submits answered from the persistent (on-disk) cache.
     disk_hits: u64,
+    /// Submits refused by admission control or quotas (or client auth).
+    rejected_submits: u64,
+    /// Worker hellos and client sessions refused for a bad auth proof.
+    auth_failures: u64,
+    /// Jobs canceled by a client, an expired deadline, or a fault plan.
+    cancelled_jobs: u64,
+    /// Coordinator-lifetime merged-cell count (drives the
+    /// `cancel-after-cells` fault arm).
+    merged_cells_total: u64,
     shutting_down: bool,
 }
 
@@ -243,6 +318,24 @@ struct Inner {
     fallback_after: Option<Duration>,
     /// Speculation floor (`None` = no speculation).
     speculate_after: Option<Duration>,
+    /// Admission bound on unfinished jobs coordinator-wide.
+    max_pending_jobs: usize,
+    /// Per-client concurrent-job quota.
+    max_jobs_per_client: usize,
+    /// Per-client queued-cell quota.
+    max_cells_per_client: usize,
+    /// Adaptive shard sizer target (ms per lease); 0 = fixed width.
+    target_lease_ms: u64,
+    /// First-line (and auth-challenge) deadline for TCP connections.
+    handshake_timeout: Duration,
+    /// Shared secret; `None` accepts unauthenticated peers.
+    auth_token: Option<String>,
+    /// Coordinator-side `slow-client` fault: injected latency before each
+    /// client reply.
+    slow_client_delay: Option<Duration>,
+    /// Coordinator-side `cancel-after-cells` fault: cancel the job whose
+    /// cell is the Nth merged coordinator-wide.
+    cancel_after_cells: Option<u64>,
 }
 
 /// A running coordinator. Submit jobs via [`Coordinator::submit`] (the TCP
@@ -283,6 +376,8 @@ impl Coordinator {
                 inflight: HashMap::new(),
                 active: HashMap::new(),
                 ewma_cell_millis: None,
+                worker_ewma_ms: HashMap::new(),
+                list_ewma_ms: [None, None],
                 next_job: 0,
                 next_shard: 0,
                 live_workers: 0,
@@ -291,6 +386,10 @@ impl Coordinator {
                 rejected_connections: 0,
                 rejected_workers: 0,
                 disk_hits: 0,
+                rejected_submits: 0,
+                auth_failures: 0,
+                cancelled_jobs: 0,
+                merged_cells_total: 0,
                 shutting_down: false,
             }),
             work: Condvar::new(),
@@ -302,6 +401,14 @@ impl Coordinator {
             config_epoch: opts.config_epoch,
             fallback_after: opts.fallback_after,
             speculate_after: opts.speculate_after,
+            max_pending_jobs: opts.max_pending_jobs.max(1),
+            max_jobs_per_client: opts.max_jobs_per_client.max(1),
+            max_cells_per_client: opts.max_cells_per_client.max(1),
+            target_lease_ms: opts.target_lease_ms,
+            handshake_timeout: opts.handshake_timeout,
+            auth_token: opts.auth_token.clone(),
+            slow_client_delay: opts.fault_plan.slow_client_delay(),
+            cancel_after_cells: opts.fault_plan.cancel_after_cells(),
         });
         if let Some(dir) = &inner.checkpoint_dir {
             std::fs::create_dir_all(dir)
@@ -414,9 +521,25 @@ impl Coordinator {
     }
 
     /// Submit one config and block until its envelope is ready (cache hit,
-    /// coalesced onto an in-flight twin, or executed).
+    /// coalesced onto an in-flight twin, or executed). The in-process
+    /// caller is the `local` client identity with no deadline; rejections
+    /// surface as plain errors here.
     pub fn submit(&self, id: Option<String>, cfg: &SweepConfig) -> Result<ResultEnvelope, String> {
-        Inner::submit(&self.inner, id, cfg)
+        self.submit_detailed(id, cfg, "local", None)
+            .map_err(SubmitError::into_message)
+    }
+
+    /// [`Coordinator::submit`] with an explicit client identity and
+    /// optional deadline, distinguishing admission rejections from
+    /// execution failures.
+    pub fn submit_detailed(
+        &self,
+        id: Option<String>,
+        cfg: &SweepConfig,
+        client: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<ResultEnvelope, SubmitError> {
+        Inner::submit(&self.inner, id, cfg, client, deadline_ms)
     }
 
     /// Cancel a named in-flight job: queued leases are dropped, waiters get
@@ -470,6 +593,56 @@ impl Coordinator {
         self.inner.state.lock().expect("coordinator lock").disk_hits
     }
 
+    /// Unfinished jobs currently held — the number admission control
+    /// weighs against `--max-pending-jobs`.
+    pub fn queue_depth(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .jobs
+            .values()
+            .filter(|j| j.done.is_none())
+            .count() as u64
+    }
+
+    /// Submits refused by admission control, quotas, or client auth.
+    pub fn rejected_submits(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .rejected_submits
+    }
+
+    /// Worker hellos and client sessions refused for a bad auth proof.
+    pub fn auth_failures(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .auth_failures
+    }
+
+    /// Jobs canceled by a client, an expired deadline, or a fault plan.
+    pub fn cancelled_jobs(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .cancelled_jobs
+    }
+
+    /// Documents evicted from the in-memory LRU result cache.
+    pub fn evictions(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .expect("coordinator lock")
+            .cache
+            .evictions()
+    }
+
     /// Corrupt or torn persistent-cache records skipped since open.
     pub fn cache_corrupt_skipped(&self) -> u64 {
         self.inner
@@ -521,17 +694,41 @@ impl Drop for Coordinator {
     }
 }
 
+/// How a submit failed: refused at the door (admission control, quota,
+/// auth — the wire's `{"type":"reject"}` line), or admitted but failed to
+/// execute (the wire's `{"type":"error"}` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Machine-readable rejection reason (`queue_full`,
+    /// `client_job_quota`, `client_cell_quota`, `auth_failed`).
+    Rejected(String),
+    Failed(String),
+}
+
+impl SubmitError {
+    /// Flatten into a single error message for callers that don't
+    /// distinguish the two.
+    pub fn into_message(self) -> String {
+        match self {
+            SubmitError::Rejected(reason) => format!("rejected: {reason}"),
+            SubmitError::Failed(e) => e,
+        }
+    }
+}
+
 impl Inner {
     fn submit(
         inner: &Arc<Inner>,
         id: Option<String>,
         cfg: &SweepConfig,
-    ) -> Result<ResultEnvelope, String> {
+        client: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<ResultEnvelope, SubmitError> {
         let key = proto::config_key(cfg);
-        let plan = Arc::new(SweepPlan::from_config(cfg)?);
+        let plan = Arc::new(SweepPlan::from_config(cfg).map_err(SubmitError::Failed)?);
         let mut st = inner.state.lock().expect("coordinator lock");
         if st.shutting_down {
-            return Err("coordinator shutting down".to_string());
+            return Err(SubmitError::Failed("coordinator shutting down".to_string()));
         }
         let id = id.unwrap_or_else(|| format!("job-{}", st.next_job));
 
@@ -581,13 +778,42 @@ impl Inner {
                         };
                         return Ok(envelope(&id, key, &st, stats, document));
                     }
-                    Some(Err(e)) => return Err(e),
+                    Some(Err(e)) => return Err(SubmitError::Failed(e)),
                     None => st = inner.done.wait(st).expect("coordinator lock"),
                 }
             }
         }
 
-        // 3. New job.
+        // 3. Admission control. Only genuinely new work is gated: cache
+        //    hits and coalesced waits above cost no worker time. Reasons
+        //    are machine-readable — they travel the wire as
+        //    `{"type":"reject","reason":...}`.
+        let job_cells = plan.grid.len() + plan.para_sweep.len();
+        let pending = st.jobs.values().filter(|j| j.done.is_none());
+        let (mut total, mut mine, mut my_cells) = (0usize, 0usize, 0usize);
+        for job in pending {
+            total += 1;
+            if job.client == client {
+                mine += 1;
+                my_cells += job.remaining;
+            }
+        }
+        let refused = if total >= inner.max_pending_jobs {
+            Some("queue_full")
+        } else if mine >= inner.max_jobs_per_client {
+            Some("client_job_quota")
+        } else if my_cells + job_cells > inner.max_cells_per_client {
+            Some("client_cell_quota")
+        } else {
+            None
+        };
+        if let Some(reason) = refused {
+            st.rejected_submits += 1;
+            eprintln!("rh-serve: rejecting submit '{id}' from {client}: {reason}");
+            return Err(SubmitError::Rejected(reason.to_string()));
+        }
+
+        // 4. New job.
         let job_id = st.next_job;
         st.next_job += 1;
         let mut job = Job {
@@ -603,6 +829,10 @@ impl Inner {
             speculations: 0,
             duplicate_cells: 0,
             workers: BTreeMap::new(),
+            client: client.to_string(),
+            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            admitted_at: Instant::now(),
+            queue_wait_ms: None,
             done: None,
         };
         if let Some(dir) = &inner.checkpoint_dir {
@@ -611,6 +841,7 @@ impl Inner {
 
         if job.remaining == 0 {
             // Fully restored from checkpoints: no worker needed at all.
+            job.queue_wait_ms = Some(0);
             let document = finalize_document(&job);
             st.cache.put(key, document.clone());
             persist_document(&mut st, key, &document);
@@ -627,13 +858,14 @@ impl Inner {
         }
 
         if st.live_workers == 0 && !inner.allow_late_workers && inner.fallback_after.is_none() {
-            return Err(
+            return Err(SubmitError::Failed(
                 "no live workers and none can attach (start with --workers or --listen)"
                     .to_string(),
-            );
+            ));
         }
 
-        // Queue shard leases for the missing cells.
+        // Queue shard leases for the missing cells, sized per list by the
+        // adaptive controller (or the fixed width when it's off).
         let mut leases = Vec::new();
         for (list, slots) in [(ShardList::Grid, &job.grid), (ShardList::Para, &job.para)] {
             let missing: Vec<usize> = slots
@@ -641,7 +873,8 @@ impl Inner {
                 .enumerate()
                 .filter_map(|(i, s)| s.is_none().then_some(i))
                 .collect();
-            for chunk in missing.chunks(inner.shard_cells) {
+            let width = adaptive_width(inner, &st, list);
+            for chunk in missing.chunks(width) {
                 let shard = st.next_shard;
                 st.next_shard += 1;
                 leases.push(Lease {
@@ -658,12 +891,16 @@ impl Inner {
         st.queue.extend(leases);
         inner.work.notify_all();
 
-        // 4. Wait for the merge. With `--fallback-after`, a job stranded
+        // 5. Wait for the merge. With `--fallback-after`, a job stranded
         //    without any live worker past the deadline is claimed by this
         //    very thread: its queued leases are pulled and executed
         //    in-process — degraded to exactly what `rh-cli sweep` does,
         //    which by the determinism invariant yields the same bytes.
+        //    A `--job-deadline-ms` expiry is enforced here too: past it
+        //    the job dies exactly like a client cancel (workers abandon
+        //    its cells at the next boundary).
         let started = Instant::now();
+        let job_deadline = st.jobs[&job_id].deadline;
         loop {
             let outcome = st.jobs.get(&job_id).and_then(|j| j.done.clone());
             match outcome {
@@ -671,8 +908,19 @@ impl Inner {
                     let stats = EnvStats::from_job(&st.jobs[&job_id]);
                     return Ok(envelope(&id, key, &st, stats, document));
                 }
-                Some(Err(e)) => return Err(e),
+                Some(Err(e)) => return Err(SubmitError::Failed(e)),
                 None => {
+                    if let Some(dl) = job_deadline {
+                        if Instant::now() >= dl {
+                            cancel_job(
+                                inner,
+                                &mut st,
+                                job_id,
+                                &format!("job '{id}' deadline expired"),
+                            );
+                            continue;
+                        }
+                    }
                     if let Some(deadline) = inner.fallback_after {
                         if st.live_workers == 0 && started.elapsed() >= deadline {
                             let mine: Vec<Lease> = st
@@ -698,6 +946,17 @@ impl Inner {
                             .wait_timeout(st, FALLBACK_TICK)
                             .expect("coordinator lock")
                             .0;
+                    } else if let Some(dl) = job_deadline {
+                        // Bounded wait: nothing notifies on wall-clock
+                        // expiry, so sleep at most up to the deadline.
+                        let left = dl
+                            .saturating_duration_since(Instant::now())
+                            .max(Duration::from_millis(1));
+                        st = inner
+                            .done
+                            .wait_timeout(st, left)
+                            .expect("coordinator lock")
+                            .0;
                     } else {
                         st = inner.done.wait(st).expect("coordinator lock");
                     }
@@ -717,6 +976,7 @@ struct EnvStats {
     checkpoint_skipped: u64,
     speculations: u64,
     duplicate_cells: u64,
+    queue_wait_ms: u64,
     workers: Vec<WorkerStat>,
 }
 
@@ -730,6 +990,7 @@ impl EnvStats {
             checkpoint_skipped: job.checkpoint_skipped,
             speculations: job.speculations,
             duplicate_cells: job.duplicate_cells,
+            queue_wait_ms: job.queue_wait_ms.unwrap_or(0),
             workers: job
                 .workers
                 .iter()
@@ -763,8 +1024,44 @@ fn envelope(
         checkpoint_skipped: stats.checkpoint_skipped,
         speculations: stats.speculations,
         duplicate_cells: stats.duplicate_cells,
+        evictions: st.cache.evictions(),
+        queue_depth: st.jobs.values().filter(|j| j.done.is_none()).count() as u64,
+        queue_wait_ms: stats.queue_wait_ms,
+        rejected_submits: st.rejected_submits,
+        auth_failures: st.auth_failures,
+        cancelled_jobs: st.cancelled_jobs,
         workers: stats.workers,
         document,
+    }
+}
+
+/// How many cells the next lease of `list` should carry: enough that the
+/// lease takes ~`target_lease_ms` of wall time at the list's smoothed
+/// per-cell rate. Before any observation (or with the sizer off) the fixed
+/// `shard_cells` width applies; the result is clamped so a pathological
+/// EWMA can neither starve the pool with single-cell leases nor swallow a
+/// whole job in one lease.
+fn adaptive_width(inner: &Inner, st: &State, list: ShardList) -> usize {
+    /// Upper bound on adaptive lease width — bounds both the wire message
+    /// size and the blast radius of one worker death.
+    const MAX_ADAPTIVE_CELLS: usize = 1_024;
+    if inner.target_lease_ms == 0 {
+        return inner.shard_cells;
+    }
+    match st.list_ewma_ms[list_slot(list)] {
+        Some(ms) if ms > 0.0 => {
+            let ideal = (inner.target_lease_ms as f64 / ms).round() as usize;
+            ideal.clamp(1, MAX_ADAPTIVE_CELLS)
+        }
+        _ => inner.shard_cells,
+    }
+}
+
+/// Index of a list's slot in [`State::list_ewma_ms`].
+fn list_slot(list: ShardList) -> usize {
+    match list {
+        ShardList::Grid => 0,
+        ShardList::Para => 1,
     }
 }
 
@@ -838,7 +1135,8 @@ fn run_leases_in_process(inner: &Arc<Inner>, leases: &[Lease]) {
 
 /// The speculation supervisor: ticks while the coordinator is alive,
 /// re-leasing the still-missing cells of any active lease whose progress
-/// (cell arrival or heartbeat) is older than the adaptive deadline.
+/// (cell arrival or heartbeat) is older than the adaptive deadline — the
+/// per-worker EWMA when that worker has history, else the global one.
 /// Determinism makes the duplicate execution harmless; [`record_cell`]
 /// asserts the duplicates really are bit-exact.
 fn supervise_stragglers(inner: &Arc<Inner>) {
@@ -849,15 +1147,27 @@ fn supervise_stragglers(inner: &Arc<Inner>) {
         if st.shutting_down {
             return;
         }
-        let deadline = match st.ewma_cell_millis {
-            Some(ms) => floor.max(Duration::from_millis((ms * SPECULATE_EWMA_FACTOR) as u64)),
-            None => floor,
-        };
         let now = Instant::now();
         let stale: Vec<u64> = st
             .active
             .iter()
-            .filter(|(_, a)| !a.speculated && now.duration_since(a.last_progress) >= deadline)
+            .filter(|(_, a)| {
+                if a.speculated {
+                    return false;
+                }
+                let ewma = st
+                    .worker_ewma_ms
+                    .get(&a.worker)
+                    .copied()
+                    .or(st.ewma_cell_millis);
+                let deadline = match ewma {
+                    Some(ms) => {
+                        floor.max(Duration::from_millis((ms * SPECULATE_EWMA_FACTOR) as u64))
+                    }
+                    None => floor,
+                };
+                now.duration_since(a.last_progress) >= deadline
+            })
             .map(|(&shard, _)| shard)
             .collect();
         for shard in stale {
@@ -1051,9 +1361,20 @@ fn worker_handler<R: BufRead, W: Write>(
             Ok(FromWorker::Hello {
                 proto_version,
                 config_epoch,
+                auth_nonce,
+                auth_proof,
                 ..
             }) => {
-                if !vet_worker(inner, name, proto_version, config_epoch, &mut writer, local) {
+                if !vet_worker(
+                    inner,
+                    name,
+                    proto_version,
+                    config_epoch,
+                    auth_nonce,
+                    auth_proof.as_deref(),
+                    &mut writer,
+                    local,
+                ) {
                     return;
                 }
             }
@@ -1070,19 +1391,25 @@ fn worker_handler<R: BufRead, W: Write>(
     worker_session(inner, name, &mut reader, &mut writer, local);
 }
 
-/// Vet a worker hello against this coordinator's protocol version and
-/// config epoch. A mismatch gets a terminal `reject` line (so the worker
-/// exits instead of retrying), a log line, and a counter bump — and, for a
-/// locally-spawned worker, fails coordinator startup, since a local pool
-/// that can never attach is a configuration error.
+/// Vet a worker hello against this coordinator's protocol version, config
+/// epoch, and (for TCP-attached workers) the shared auth token. A mismatch
+/// gets a terminal `reject` line (so the worker exits instead of
+/// retrying), a log line, and a counter bump — and, for a locally-spawned
+/// worker, fails coordinator startup, since a local pool that can never
+/// attach is a configuration error. Local stdio workers skip the auth
+/// check: the coordinator spawned them itself over a private pipe.
+#[allow(clippy::too_many_arguments)]
 fn vet_worker<W: Write>(
     inner: &Arc<Inner>,
     name: &str,
     proto_version: u64,
     config_epoch: u64,
+    auth_nonce: u64,
+    auth_proof: Option<&str>,
     writer: &mut W,
     local: bool,
 ) -> bool {
+    let mut auth_failed = false;
     let reason = if proto_version != PROTO_VERSION {
         Some(format!(
             "protocol version {proto_version} does not match coordinator version {PROTO_VERSION}"
@@ -1092,6 +1419,14 @@ fn vet_worker<W: Write>(
             "config epoch {config_epoch} does not match coordinator epoch {}",
             inner.config_epoch
         ))
+    } else if let Some(token) = inner.auth_token.as_ref().filter(|_| !local) {
+        let expected = proto::auth_proof(token, auth_nonce);
+        if auth_proof.is_some_and(|p| proto::constant_time_eq(p, &expected)) {
+            None
+        } else {
+            auth_failed = true;
+            Some("auth proof missing or invalid".to_string())
+        }
     } else {
         None
     };
@@ -1102,6 +1437,9 @@ fn vet_worker<W: Write>(
     {
         let mut st = inner.state.lock().expect("coordinator lock");
         st.rejected_workers += 1;
+        if auth_failed {
+            st.auth_failures += 1;
+        }
     }
     let _ = write_line(
         writer,
@@ -1131,6 +1469,10 @@ fn worker_session<R: BufRead, W: Write>(
         }
         inner.done.notify_all();
     }
+
+    // Jobs this connection has already told the worker to abandon — one
+    // `cancel` per job per connection is enough.
+    let mut cancel_sent: HashSet<u64> = HashSet::new();
 
     loop {
         // Dequeue one live lease (or exit on shutdown).
@@ -1186,6 +1528,7 @@ fn worker_session<R: BufRead, W: Write>(
                     lease: lease.clone(),
                     last_progress: Instant::now(),
                     speculated: false,
+                    worker: name.to_string(),
                 },
             );
         }
@@ -1230,11 +1573,41 @@ fn worker_session<R: BufRead, W: Write>(
                     record_cell(
                         inner, &mut st, name, &kernel, job, shard, lease.list, index, result,
                     );
+                    // A cell for a canceled/expired/failed job means the
+                    // worker is still burning cells it can't use: tell it
+                    // to abandon the job mid-shard. The worker acks and
+                    // drops the rest of the lease — never requeued.
+                    let dead = st
+                        .jobs
+                        .get(&job)
+                        .is_none_or(|j| matches!(j.done, Some(Err(_))));
                     // Every leased slot filled (possibly with help from a
                     // speculative twin): the lease is complete even if the
                     // closing shard_done gets lost.
-                    if shard == lease.shard && lease_settled(&mut st, &lease) {
+                    let settled = shard == lease.shard && lease_settled(&mut st, &lease);
+                    if settled {
                         st.active.remove(&lease.shard);
+                    }
+                    drop(st);
+                    if dead
+                        && cancel_sent.insert(job)
+                        && write_line(writer, &ToWorker::Cancel { job }.encode()).is_err()
+                    {
+                        requeue(inner, &lease);
+                        worker_gone(inner, name, local);
+                        return;
+                    }
+                    if settled {
+                        break;
+                    }
+                }
+                FromWorker::CancelAck { job: _, shard } => {
+                    // The worker abandoned the lease at a cell boundary;
+                    // its remaining cells die with the job — requeue-free
+                    // teardown by design.
+                    let mut st = inner.state.lock().expect("coordinator lock");
+                    st.active.remove(&shard);
+                    if shard == lease.shard {
                         break;
                     }
                 }
@@ -1315,15 +1688,22 @@ fn record_cell(
     result: RunResult,
 ) {
     // Supervision bookkeeping first: this arrival is progress for its
-    // shard, and its wall time feeds the straggler deadline's EWMA.
+    // shard, and its wall time feeds the straggler deadline's EWMAs
+    // (global and per-worker) plus the per-list EWMA behind the adaptive
+    // shard sizer.
     let now = Instant::now();
     if let Some(active) = st.active.get_mut(&shard) {
         let sample_ms = now.duration_since(active.last_progress).as_secs_f64() * 1e3;
         active.last_progress = now;
-        st.ewma_cell_millis = Some(match st.ewma_cell_millis {
+        let fold = |prev: Option<f64>| match prev {
             Some(prev) => EWMA_ALPHA * sample_ms + (1.0 - EWMA_ALPHA) * prev,
             None => sample_ms,
-        });
+        };
+        st.ewma_cell_millis = Some(fold(st.ewma_cell_millis));
+        let per_worker = st.worker_ewma_ms.get(worker).copied();
+        st.worker_ewma_ms
+            .insert(worker.to_string(), fold(per_worker));
+        st.list_ewma_ms[list_slot(list)] = Some(fold(st.list_ewma_ms[list_slot(list)]));
     }
 
     let Some(job) = st.jobs.get_mut(&job_id) else {
@@ -1356,6 +1736,9 @@ fn record_cell(
     *slot = Some(result.clone());
     job.remaining -= 1;
     job.executed_cells += 1;
+    if job.queue_wait_ms.is_none() {
+        job.queue_wait_ms = Some(now.duration_since(job.admitted_at).as_millis() as u64);
+    }
     let stat = job
         .workers
         .entry(worker.to_string())
@@ -1365,6 +1748,23 @@ fn record_cell(
     }
     stat.1 += 1;
     let complete = job.remaining == 0;
+    st.merged_cells_total += 1;
+    if !complete && Some(st.merged_cells_total) == inner.cancel_after_cells {
+        // Chaos arm: the job owning the Nth merged cell coordinator-wide
+        // is canceled mid-flight, exercising the whole cancel pipeline
+        // (teardown, worker-side abandonment, counters) on a schedule.
+        eprintln!(
+            "rh-serve: fault plan canceling job {job_id} after {} cells",
+            st.merged_cells_total
+        );
+        cancel_job(
+            inner,
+            st,
+            job_id,
+            "canceled by fault plan (cancel-after-cells)",
+        );
+        return;
+    }
     if let Some(dir) = &inner.checkpoint_dir {
         checkpoint_cell(dir, key, list, index, &result);
     }
@@ -1454,11 +1854,6 @@ fn register_spawn_failure(inner: &Arc<Inner>, name: &str, why: &str, local: bool
 // TCP front door
 // ---------------------------------------------------------------------------
 
-/// How long a fresh connection gets to produce its first line before the
-/// handler gives up on it (a connect-and-say-nothing peer must not pin a
-/// thread forever).
-const FIRST_LINE_TIMEOUT: Duration = Duration::from_secs(10);
-
 /// Accept loop: every connection's first line says what it is — a worker
 /// hello (vetted before any lease), or a client message. Anything else is
 /// a logged, counted, per-connection rejection; the listener itself never
@@ -1472,7 +1867,11 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
                 .peer_addr()
                 .map(|a| a.to_string())
                 .unwrap_or_else(|_| "unknown".to_string());
-            let _ = stream.set_read_timeout(Some(FIRST_LINE_TIMEOUT));
+            // `--handshake-timeout-ms`: a connect-and-say-nothing peer must
+            // not pin a thread forever, and an authenticated first line
+            // (the proof rides the hello) must arrive within the same
+            // deadline.
+            let _ = stream.set_read_timeout(Some(inner.handshake_timeout));
             let Ok(read_half) = stream.try_clone() else {
                 return;
             };
@@ -1516,16 +1915,27 @@ fn route_first<R: BufRead, W: Write>(
             Ok(FromWorker::Hello {
                 proto_version,
                 config_epoch,
+                auth_nonce,
+                auth_proof,
                 ..
             }) => {
-                if vet_worker(inner, &name, proto_version, config_epoch, writer, false) {
+                if vet_worker(
+                    inner,
+                    &name,
+                    proto_version,
+                    config_epoch,
+                    auth_nonce,
+                    auth_proof.as_deref(),
+                    writer,
+                    false,
+                ) {
                     worker_session(inner, &name, reader, writer, false);
                 }
             }
             _ => reject_connection(inner, peer, writer, "malformed worker hello"),
         }
     } else if parsed.is_ok() {
-        client_session(inner, first, reader, writer);
+        client_session(inner, peer, first, reader, writer);
     } else {
         reject_connection(inner, peer, writer, "first line is not a protocol message");
     }
@@ -1544,21 +1954,67 @@ fn reject_connection<W: Write>(inner: &Arc<Inner>, peer: &str, writer: &mut W, w
 
 /// One client connection: handle its first line, then every further line
 /// until EOF. Submits run to completion in order; a bad line yields an
-/// error envelope, not a dropped connection.
+/// error envelope, not a dropped connection. When the coordinator holds an
+/// auth token, the session must open with a valid `client_hello` —
+/// anything else gets `{"type":"reject","reason":"auth_failed"}` and the
+/// connection is closed.
 fn client_session<R: BufRead, W: Write>(
     inner: &Arc<Inner>,
+    peer: &str,
     first: &str,
     reader: &mut R,
     writer: &mut W,
 ) {
+    // Client identity for quota accounting: the peer IP (not IP:port — a
+    // client opening many connections is still one client). In-memory
+    // test transports pass a plain label through unchanged.
+    let client = peer.rsplit_once(':').map_or(peer, |(host, _)| host);
+    let mut authed = inner.auth_token.is_none();
     let mut line = first.to_string();
     loop {
+        let mut hangup = false;
         let reply = match ClientMsg::decode(&line) {
-            Ok(ClientMsg::Submit { id, config }) => {
+            Ok(ClientMsg::Hello {
+                auth_nonce,
+                auth_proof,
+            }) => match &inner.auth_token {
+                Some(token)
+                    if proto::constant_time_eq(
+                        &auth_proof,
+                        &proto::auth_proof(token, auth_nonce),
+                    ) =>
+                {
+                    authed = true;
+                    "{\"type\":\"hello_ok\"}".to_string()
+                }
+                Some(_) => {
+                    let mut st = inner.state.lock().expect("coordinator lock");
+                    st.auth_failures += 1;
+                    eprintln!("rh-serve: rejecting client {peer}: bad auth proof");
+                    hangup = true;
+                    proto::encode_reject("auth_failed")
+                }
+                // No token required: the hello is a harmless ping.
+                None => "{\"type\":\"hello_ok\"}".to_string(),
+            },
+            Ok(ClientMsg::Submit { .. }) | Ok(ClientMsg::Cancel { .. }) if !authed => {
+                let mut st = inner.state.lock().expect("coordinator lock");
+                st.auth_failures += 1;
+                st.rejected_submits += 1;
+                eprintln!("rh-serve: rejecting client {peer}: not authenticated");
+                hangup = true;
+                proto::encode_reject("auth_failed")
+            }
+            Ok(ClientMsg::Submit {
+                id,
+                config,
+                deadline_ms,
+            }) => {
                 let label = id.clone().unwrap_or_default();
-                match Inner::submit(inner, id, &config) {
+                match Inner::submit(inner, id, &config, client, deadline_ms) {
                     Ok(env) => env.encode(),
-                    Err(e) => encode_error(&label, &e),
+                    Err(SubmitError::Rejected(reason)) => proto::encode_reject(&reason),
+                    Err(SubmitError::Failed(e)) => encode_error(&label, &e),
                 }
             }
             Ok(ClientMsg::Cancel { id }) => {
@@ -1570,7 +2026,13 @@ fn client_session<R: BufRead, W: Write>(
             }
             Err(e) => encode_error("", &e),
         };
-        if write_line(writer, &reply).is_err() {
+        // `slow-client` chaos arm: a client that drains replies slowly.
+        // Injected coordinator-side so the latency (and the back-pressure
+        // it creates) is deterministic under test.
+        if let Some(delay) = inner.slow_client_delay {
+            std::thread::sleep(delay);
+        }
+        if write_line(writer, &reply).is_err() || hangup {
             return;
         }
         match read_line(reader) {
@@ -1585,6 +2047,22 @@ fn cancel_by_name(inner: &Arc<Inner>, id: &str) -> bool {
     let Some(&job_id) = st.named.get(id) else {
         return false;
     };
+    cancel_job(inner, &mut st, job_id, &format!("job '{id}' canceled"))
+}
+
+/// Kill one unfinished job — client cancel, deadline expiry, and the
+/// `cancel-after-cells` fault all land here. Queued leases are dropped;
+/// leases already out on workers are *not* requeued: the serving
+/// connection notices the dead job on its next cell and sends the worker a
+/// `cancel` so the rest of the lease is abandoned mid-shard. Checkpointed
+/// cells survive for a later resubmit. Returns false for unknown/finished
+/// jobs.
+fn cancel_job(
+    inner: &Arc<Inner>,
+    st: &mut MutexGuard<'_, State>,
+    job_id: u64,
+    message: &str,
+) -> bool {
     let Some(job) = st.jobs.get_mut(&job_id) else {
         return false;
     };
@@ -1592,7 +2070,8 @@ fn cancel_by_name(inner: &Arc<Inner>, id: &str) -> bool {
         return false;
     }
     let key = job.key;
-    job.done = Some(Err(format!("job '{id}' canceled")));
+    job.done = Some(Err(message.to_string()));
+    st.cancelled_jobs += 1;
     st.inflight.remove(&key);
     st.queue.retain(|l| l.job != job_id);
     st.active.retain(|_, a| a.lease.job != job_id);
@@ -1622,11 +2101,16 @@ pub fn run_serve(opts: ServeOptions) -> Result<(), String> {
     let mut reader = stdin.lock();
     while let Some(line) = read_line(&mut reader).map_err(|e| format!("stdin: {e}"))? {
         let reply = match ClientMsg::decode(&line) {
-            Ok(ClientMsg::Submit { id, config }) => {
+            Ok(ClientMsg::Submit {
+                id,
+                config,
+                deadline_ms,
+            }) => {
                 let label = id.clone().unwrap_or_default();
-                match coordinator.submit(id, &config) {
+                match coordinator.submit_detailed(id, &config, "stdin", deadline_ms) {
                     Ok(env) => env.encode(),
-                    Err(e) => encode_error(&label, &e),
+                    Err(SubmitError::Rejected(reason)) => proto::encode_reject(&reason),
+                    Err(SubmitError::Failed(e)) => encode_error(&label, &e),
                 }
             }
             Ok(ClientMsg::Cancel { id }) => {
@@ -1636,6 +2120,9 @@ pub fn run_serve(opts: ServeOptions) -> Result<(), String> {
                     proto::jstr(&id)
                 )
             }
+            // The stdin operator started this process; auth guards the
+            // TCP front door, so a local hello is just acknowledged.
+            Ok(ClientMsg::Hello { .. }) => "{\"type\":\"hello_ok\"}".to_string(),
             Err(e) => encode_error("", &e),
         };
         write_line(&mut stdout, &reply).map_err(|e| format!("stdout: {e}"))?;
@@ -1653,21 +2140,26 @@ pub struct SubmitOptions {
     /// nonzero with a message naming the deadline — a wedged coordinator
     /// must not wedge CI with it.
     pub timeout: Option<Duration>,
+    /// `--job-deadline-ms`: stamped onto every submitted config so the
+    /// coordinator expires jobs that outlive it.
+    pub deadline_ms: Option<u64>,
+    /// Shared secret (`--auth-token-file`): the session opens with an
+    /// authenticated `client_hello` before any submit.
+    pub auth_token: Option<String>,
 }
 
 /// Connect to the coordinator, bounded by `timeout` when one is set (the
 /// same deadline then bounds every response read).
-fn connect_submit(opts: &SubmitOptions) -> Result<TcpStream, String> {
-    let Some(timeout) = opts.timeout else {
-        return TcpStream::connect(&opts.connect)
-            .map_err(|e| format!("cannot connect to {}: {e}", opts.connect));
+fn connect_coordinator(connect: &str, timeout: Option<Duration>) -> Result<TcpStream, String> {
+    let Some(timeout) = timeout else {
+        return TcpStream::connect(connect)
+            .map_err(|e| format!("cannot connect to {connect}: {e}"));
     };
-    let addrs: Vec<SocketAddr> = opts
-        .connect
+    let addrs: Vec<SocketAddr> = connect
         .to_socket_addrs()
-        .map_err(|e| format!("cannot resolve {}: {e}", opts.connect))?
+        .map_err(|e| format!("cannot resolve {connect}: {e}"))?
         .collect();
-    let mut last = format!("{} resolved to no addresses", opts.connect);
+    let mut last = format!("{connect} resolved to no addresses");
     for addr in addrs {
         match TcpStream::connect_timeout(&addr, timeout) {
             Ok(stream) => {
@@ -1682,22 +2174,83 @@ fn connect_submit(opts: &SubmitOptions) -> Result<TcpStream, String> {
     Err(last)
 }
 
+/// Open a client session with an authenticated `client_hello` and wait for
+/// the coordinator's `hello_ok`; a reject fails the whole invocation
+/// before any work is sent.
+fn client_auth_handshake<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    token: &str,
+) -> Result<(), String> {
+    let nonce = rh_core::SplitMix64::new(rh_core::derive_seed(
+        0xC11E_47E5,
+        &[u64::from(std::process::id())],
+    ))
+    .next_u64();
+    let hello = ClientMsg::Hello {
+        auth_nonce: nonce,
+        auth_proof: proto::auth_proof(token, nonce),
+    };
+    write_line(writer, &hello.encode()).map_err(|e| format!("send hello: {e}"))?;
+    let reply = read_line(reader)
+        .map_err(|e| format!("recv hello_ok: {e}"))?
+        .ok_or("coordinator closed the connection during auth")?;
+    let v = proto::parse(&reply)?;
+    match v.get("type").and_then(proto::Value::as_str) {
+        Some("hello_ok") => Ok(()),
+        Some("reject") => Err(format!(
+            "authentication rejected: {}",
+            v.get("reason")
+                .and_then(proto::Value::as_str)
+                .unwrap_or("unknown reason")
+        )),
+        _ => Err(format!("unexpected auth reply: {reply}")),
+    }
+}
+
 /// `rh-cli submit`: read config lines from stdin, send each to the
 /// coordinator at `--connect`, print each returned **document** verbatim on
 /// stdout (so output byte-diffs directly against `rh-cli sweep`) with the
 /// envelope metadata on stderr. Errors exit nonzero.
 pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
-    let stream = connect_submit(opts)?;
+    let stream = connect_coordinator(&opts.connect, opts.timeout)?;
     let mut reader = BufReader::new(
         stream
             .try_clone()
             .map_err(|e| format!("clone stream: {e}"))?,
     );
     let mut writer = stream;
+
+    // Authenticate first when a token was given: one client_hello carrying
+    // a seeded nonce and the shared-secret proof, answered by hello_ok (or
+    // a reject, which fails the whole run before any config is sent).
+    if let Some(token) = &opts.auth_token {
+        client_auth_handshake(&mut reader, &mut writer, token)?;
+    }
+
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
     let mut stdout = std::io::stdout().lock();
     while let Some(line) = read_line(&mut input).map_err(|e| format!("stdin: {e}"))? {
+        // A `--job-deadline-ms` is stamped into each submit by decoding
+        // and re-encoding the line; without one the line is forwarded
+        // verbatim (bare configs included).
+        let line = match opts.deadline_ms {
+            None => line,
+            Some(ms) => match ClientMsg::decode(&line) {
+                Ok(ClientMsg::Submit {
+                    id,
+                    config,
+                    deadline_ms,
+                }) => ClientMsg::Submit {
+                    id,
+                    config,
+                    deadline_ms: deadline_ms.or(Some(ms)),
+                }
+                .encode(),
+                _ => line,
+            },
+        };
         write_line(&mut writer, &line).map_err(|e| format!("send: {e}"))?;
         let reply = read_line(&mut reader)
             .map_err(|e| match opts.timeout {
@@ -1716,7 +2269,8 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
         eprintln!(
             "rh-submit: id={} hash={:#018x} seed={} cached={} coalesced={} cache_hits={} \
              executed={} checkpointed={} ckpt_skipped={} speculations={} duplicates={} \
-             workers={}",
+             evictions={} queue_depth={} queue_wait_ms={} rejected={} auth_failures={} \
+             cancelled={} workers={}",
             env.id,
             env.config_hash,
             env.seed,
@@ -1728,6 +2282,12 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
             env.checkpoint_skipped,
             env.speculations,
             env.duplicate_cells,
+            env.evictions,
+            env.queue_depth,
+            env.queue_wait_ms,
+            env.rejected_submits,
+            env.auth_failures,
+            env.cancelled_jobs,
             env.workers
                 .iter()
                 .map(|w| format!("{}:{}({})", w.worker, w.kernel, w.cells))
@@ -1743,6 +2303,57 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), String> {
             .map_err(|e| format!("stdout: {e}"))?;
     }
     Ok(())
+}
+
+/// Parsed `rh-cli cancel` options (the client verb for killing an
+/// in-flight job by its submit id).
+#[derive(Debug, Clone, Default)]
+pub struct CancelOptions {
+    pub connect: String,
+    /// The job id to cancel (the `id` given at submit time).
+    pub id: String,
+    pub timeout: Option<Duration>,
+    pub auth_token: Option<String>,
+}
+
+/// `rh-cli cancel`: ask the coordinator to kill one in-flight job. Exits
+/// nonzero when the job is unknown or already finished (`canceled:false`),
+/// so scripts can tell a real cancellation from a no-op.
+pub fn run_cancel(opts: &CancelOptions) -> Result<(), String> {
+    let stream = connect_coordinator(&opts.connect, opts.timeout)?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = stream;
+    if let Some(token) = &opts.auth_token {
+        client_auth_handshake(&mut reader, &mut writer, token)?;
+    }
+    let msg = ClientMsg::Cancel {
+        id: opts.id.clone(),
+    };
+    write_line(&mut writer, &msg.encode()).map_err(|e| format!("send: {e}"))?;
+    let reply = read_line(&mut reader)
+        .map_err(|e| format!("recv: {e}"))?
+        .ok_or("coordinator closed the connection")?;
+    let v = proto::parse(&reply)?;
+    match v.get("type").and_then(proto::Value::as_str) {
+        Some("cancel_ack") => match v.get("canceled").and_then(proto::Value::as_bool) {
+            Some(true) => {
+                eprintln!("rh-cancel: job '{}' canceled", opts.id);
+                Ok(())
+            }
+            _ => Err(format!("job '{}' is unknown or already finished", opts.id)),
+        },
+        Some("reject") => Err(format!(
+            "cancel rejected: {}",
+            v.get("reason")
+                .and_then(proto::Value::as_str)
+                .unwrap_or("unknown reason")
+        )),
+        _ => Err(format!("unexpected cancel reply: {reply}")),
+    }
 }
 
 #[cfg(test)]
@@ -1764,6 +2375,16 @@ mod tests {
     /// A bare coordinator core with no workers, listener, or threads —
     /// just the shared state the handler functions operate on.
     fn test_inner() -> Arc<Inner> {
+        test_inner_custom(None, usize::MAX, usize::MAX, usize::MAX)
+    }
+
+    /// [`test_inner`] with admission/auth knobs for the job-manager tests.
+    fn test_inner_custom(
+        auth_token: Option<String>,
+        max_pending_jobs: usize,
+        max_jobs_per_client: usize,
+        max_cells_per_client: usize,
+    ) -> Arc<Inner> {
         Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: HashMap::new(),
@@ -1774,6 +2395,8 @@ mod tests {
                 inflight: HashMap::new(),
                 active: HashMap::new(),
                 ewma_cell_millis: None,
+                worker_ewma_ms: HashMap::new(),
+                list_ewma_ms: [None, None],
                 next_job: 0,
                 next_shard: 0,
                 live_workers: 0,
@@ -1782,6 +2405,10 @@ mod tests {
                 rejected_connections: 0,
                 rejected_workers: 0,
                 disk_hits: 0,
+                rejected_submits: 0,
+                auth_failures: 0,
+                cancelled_jobs: 0,
+                merged_cells_total: 0,
                 shutting_down: false,
             }),
             work: Condvar::new(),
@@ -1793,6 +2420,14 @@ mod tests {
             config_epoch: 0,
             fallback_after: None,
             speculate_after: None,
+            max_pending_jobs,
+            max_jobs_per_client,
+            max_cells_per_client,
+            target_lease_ms: 1_500,
+            handshake_timeout: Duration::from_secs(10),
+            auth_token,
+            slow_client_delay: None,
+            cancel_after_cells: None,
         })
     }
 
@@ -1817,6 +2452,10 @@ mod tests {
             speculations: 0,
             duplicate_cells: 0,
             workers: BTreeMap::new(),
+            client: "test-client".to_string(),
+            deadline: None,
+            admitted_at: Instant::now(),
+            queue_wait_ms: None,
             done: None,
         };
         st.jobs.insert(job_id, job);
@@ -1888,6 +2527,8 @@ mod tests {
                     pid: 1,
                     proto_version: PROTO_VERSION + 1,
                     config_epoch: 0,
+                    auth_nonce: 0,
+                    auth_proof: None,
                 },
                 "protocol version",
             ),
@@ -1897,6 +2538,8 @@ mod tests {
                     pid: 1,
                     proto_version: PROTO_VERSION,
                     config_epoch: 3,
+                    auth_nonce: 0,
+                    auth_proof: None,
                 },
                 "config epoch",
             ),
@@ -2031,6 +2674,10 @@ mod tests {
             speculations: 0,
             duplicate_cells: 0,
             workers: BTreeMap::new(),
+            client: "test-client".to_string(),
+            deadline: None,
+            admitted_at: Instant::now(),
+            queue_wait_ms: None,
             done: None,
         };
         load_checkpoints(&dir, &mut job);
@@ -2066,6 +2713,7 @@ mod tests {
                 lease,
                 last_progress: Instant::now(),
                 speculated: false,
+                worker: "w1".to_string(),
             },
         );
         speculate(&inner, &mut st, 0);
@@ -2130,5 +2778,283 @@ mod tests {
         assert_eq!(env.workers[0].worker, "in-process");
         assert!(env.executed_cells > 0);
         coordinator.shutdown();
+    }
+
+    #[test]
+    fn admission_rejects_past_the_queue_bound() {
+        let inner = test_inner_custom(None, 1, usize::MAX, usize::MAX);
+        let cfg = small_config();
+        // One unfinished job occupies the whole queue.
+        seed_job(&inner, &cfg);
+        match Inner::submit(&inner, Some("late".into()), &cfg, "someone-else", None) {
+            Err(SubmitError::Rejected(reason)) => assert_eq!(reason, "queue_full"),
+            other => panic!("expected a queue_full reject, got {other:?}"),
+        }
+        let st = inner.state.lock().unwrap();
+        assert_eq!(st.rejected_submits, 1);
+        assert_eq!(st.jobs.len(), 1, "a rejected submit creates no job");
+    }
+
+    #[test]
+    fn per_client_quotas_reject_with_distinct_reasons() {
+        // Job quota: the seeded job already belongs to "test-client".
+        let inner = test_inner_custom(None, usize::MAX, 1, usize::MAX);
+        let cfg = small_config();
+        seed_job(&inner, &cfg);
+        match Inner::submit(&inner, None, &cfg, "test-client", None) {
+            Err(SubmitError::Rejected(reason)) => assert_eq!(reason, "client_job_quota"),
+            other => panic!("expected a client_job_quota reject, got {other:?}"),
+        }
+
+        // Cell quota: this 2-cell job alone exceeds a 1-cell allowance.
+        let inner = test_inner_custom(None, usize::MAX, usize::MAX, 1);
+        match Inner::submit(&inner, None, &cfg, "fresh-client", None) {
+            Err(SubmitError::Rejected(reason)) => assert_eq!(reason, "client_cell_quota"),
+            other => panic!("expected a client_cell_quota reject, got {other:?}"),
+        }
+        assert_eq!(inner.state.lock().unwrap().rejected_submits, 1);
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_the_job_and_fails_the_submit() {
+        // No workers and no fallback: the job can only end via its
+        // deadline, enforced by the waiting thread itself.
+        let inner = test_inner();
+        let cfg = small_config();
+        let t0 = Instant::now();
+        let err = Inner::submit(&inner, Some("dl".into()), &cfg, "local", Some(60))
+            .expect_err("the deadline must expire");
+        assert!(t0.elapsed() >= Duration::from_millis(60));
+        match err {
+            SubmitError::Failed(e) => assert!(e.contains("deadline expired"), "got '{e}'"),
+            other => panic!("expected a deadline failure, got {other:?}"),
+        }
+        let st = inner.state.lock().unwrap();
+        assert_eq!(st.cancelled_jobs, 1);
+        assert!(
+            st.queue.is_empty(),
+            "an expired job's leases leave the queue"
+        );
+    }
+
+    #[test]
+    fn cancel_kills_queued_leases_and_wakes_waiters() {
+        let inner = test_inner();
+        let cfg = small_config();
+        let (job_id, _) = seed_job(&inner, &cfg);
+        {
+            let mut st = inner.state.lock().unwrap();
+            let key = st.jobs[&job_id].key;
+            st.named.insert("the-job".into(), job_id);
+            st.inflight.insert(key, job_id);
+            st.queue.push_back(Lease {
+                job: job_id,
+                shard: 0,
+                list: ShardList::Grid,
+                indices: vec![0],
+            });
+            st.active.insert(
+                1,
+                ActiveLease {
+                    lease: Lease {
+                        job: job_id,
+                        shard: 1,
+                        list: ShardList::Para,
+                        indices: vec![0],
+                    },
+                    last_progress: Instant::now(),
+                    speculated: false,
+                    worker: "w1".to_string(),
+                },
+            );
+        }
+        assert!(cancel_by_name(&inner, "the-job"));
+        {
+            let st = inner.state.lock().unwrap();
+            assert!(st.queue.is_empty(), "queued leases are dropped");
+            assert!(st.active.is_empty(), "leased shards are forgotten");
+            assert!(st.inflight.is_empty(), "no coalescing onto a dead job");
+            assert_eq!(st.cancelled_jobs, 1);
+            match &st.jobs[&job_id].done {
+                Some(Err(e)) => assert!(e.contains("canceled"), "got '{e}'"),
+                other => panic!("cancel must fail the job, got {other:?}"),
+            }
+        }
+        // Cancel is not idempotent on purpose: the second call reports
+        // there was nothing left to cancel, as does an unknown id.
+        assert!(!cancel_by_name(&inner, "the-job"));
+        assert!(!cancel_by_name(&inner, "never-submitted"));
+        assert_eq!(inner.state.lock().unwrap().cancelled_jobs, 1);
+    }
+
+    #[test]
+    fn adaptive_width_targets_the_lease_time_per_list() {
+        // test_inner: target_lease_ms 1500, fixed shard_cells 4.
+        let inner = test_inner();
+        let mut st = inner.state.lock().unwrap();
+        // No EWMA yet (cold start): fall back to the fixed width.
+        assert_eq!(adaptive_width(&inner, &st, ShardList::Grid), 4);
+        // Each list is sized from its own cell-time estimate: slow grid
+        // cells get narrow leases, cheap PARA cells wide ones.
+        st.list_ewma_ms[0] = Some(100.0);
+        st.list_ewma_ms[1] = Some(2.5);
+        assert_eq!(adaptive_width(&inner, &st, ShardList::Grid), 15);
+        assert_eq!(adaptive_width(&inner, &st, ShardList::Para), 600);
+        // Pathological estimates clamp instead of degenerating.
+        st.list_ewma_ms[0] = Some(1e9);
+        assert_eq!(adaptive_width(&inner, &st, ShardList::Grid), 1);
+        st.list_ewma_ms[1] = Some(0.000_1);
+        assert_eq!(adaptive_width(&inner, &st, ShardList::Para), 1_024);
+    }
+
+    #[test]
+    fn worker_auth_rejects_bad_proofs_and_accepts_good_ones() {
+        let inner = test_inner_custom(Some("sekrit".into()), usize::MAX, usize::MAX, usize::MAX);
+        let nonce = 0xDEAD_BEEF;
+        let good = proto::auth_proof("sekrit", nonce);
+        let mut out = Vec::new();
+        assert!(vet_worker(
+            &inner,
+            "w-good",
+            PROTO_VERSION,
+            0,
+            nonce,
+            Some(&good),
+            &mut out,
+            false,
+        ));
+        assert!(out.is_empty(), "an accepted hello gets no reject line");
+
+        // Wrong token and missing proof both fail closed.
+        let wrong = proto::auth_proof("not-sekrit", nonce);
+        let mut out = Vec::new();
+        assert!(!vet_worker(
+            &inner,
+            "w-wrong",
+            PROTO_VERSION,
+            0,
+            nonce,
+            Some(&wrong),
+            &mut out,
+            false,
+        ));
+        let reply = String::from_utf8(out).unwrap();
+        assert!(reply.contains("auth proof"), "got '{reply}'");
+        assert!(!vet_worker(
+            &inner,
+            "w-silent",
+            PROTO_VERSION,
+            0,
+            nonce,
+            None,
+            &mut Vec::new(),
+            false,
+        ));
+
+        // Local stdio workers are exempt: the pipe to a child this
+        // coordinator spawned is already a trust boundary.
+        assert!(vet_worker(
+            &inner,
+            "local-0",
+            PROTO_VERSION,
+            0,
+            0,
+            None,
+            &mut Vec::new(),
+            true,
+        ));
+
+        let st = inner.state.lock().unwrap();
+        assert_eq!(st.auth_failures, 2);
+        assert_eq!(st.rejected_workers, 2);
+    }
+
+    #[test]
+    fn client_sessions_authenticate_before_submitting() {
+        let inner = test_inner_custom(Some("sekrit".into()), usize::MAX, usize::MAX, usize::MAX);
+        let nonce = 7u64;
+
+        // A valid client hello is answered with hello_ok.
+        let hello = ClientMsg::Hello {
+            auth_nonce: nonce,
+            auth_proof: proto::auth_proof("sekrit", nonce),
+        };
+        let mut reader = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        route_first(
+            &inner,
+            "10.0.0.7:1234",
+            &hello.encode(),
+            &mut reader,
+            &mut out,
+        );
+        let reply = String::from_utf8(out).unwrap();
+        assert!(reply.contains("hello_ok"), "got '{reply}'");
+
+        // A wrong proof gets a machine-readable auth_failed reject.
+        let bad = ClientMsg::Hello {
+            auth_nonce: nonce,
+            auth_proof: proto::auth_proof("guess", nonce),
+        };
+        let mut reader = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        route_first(
+            &inner,
+            "10.0.0.7:1235",
+            &bad.encode(),
+            &mut reader,
+            &mut out,
+        );
+        let reply = String::from_utf8(out).unwrap();
+        assert!(reply.contains("\"type\":\"reject\""), "got '{reply}'");
+        assert!(reply.contains("auth_failed"), "got '{reply}'");
+
+        // A submit on an unauthenticated session is refused outright — the
+        // config is never admitted, let alone executed.
+        let submit = ClientMsg::Submit {
+            id: Some("sneaky".into()),
+            config: small_config(),
+            deadline_ms: None,
+        };
+        let mut reader = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        route_first(
+            &inner,
+            "10.0.0.7:1236",
+            &submit.encode(),
+            &mut reader,
+            &mut out,
+        );
+        let reply = String::from_utf8(out).unwrap();
+        assert!(reply.contains("auth_failed"), "got '{reply}'");
+
+        let st = inner.state.lock().unwrap();
+        assert_eq!(st.auth_failures, 2, "the bad hello and the bare submit");
+        assert!(st.jobs.is_empty(), "nothing was admitted");
+    }
+
+    /// Envelope counters surface the job-manager state: evictions from the
+    /// result cache, rejected submits, auth failures, cancellations, and
+    /// the queue depth at answer time.
+    #[test]
+    fn envelope_carries_job_manager_counters() {
+        let inner = test_inner();
+        let cfg = small_config();
+        let (job_id, _) = seed_job(&inner, &cfg);
+        {
+            let mut st = inner.state.lock().unwrap();
+            st.rejected_submits = 3;
+            st.auth_failures = 2;
+            st.cancelled_jobs = 1;
+            st.jobs.get_mut(&job_id).unwrap().queue_wait_ms = Some(12);
+        }
+        let st = inner.state.lock().unwrap();
+        let stats = EnvStats::from_job(&st.jobs[&job_id]);
+        let env = envelope("e", (1, 2), &st, stats, "{}".to_string());
+        assert_eq!(env.rejected_submits, 3);
+        assert_eq!(env.auth_failures, 2);
+        assert_eq!(env.cancelled_jobs, 1);
+        assert_eq!(env.queue_wait_ms, 12);
+        assert_eq!(env.queue_depth, 1, "the seeded job is still unfinished");
     }
 }

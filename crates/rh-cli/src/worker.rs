@@ -19,11 +19,24 @@
 //! `--config-epoch`; a coordinator with a different version or epoch
 //! answers with a terminal `reject` line instead of a lease, and the worker
 //! exits nonzero — skew fails at attach time, never as garbage in a merge.
-//! While a shard executes, a side thread pulses `heartbeat` lines (under
-//! the shared writer lock, so lines never interleave) letting the
+//! With `--auth-token-file` the hello additionally carries a seeded nonce
+//! and a shared-secret proof ([`crate::proto::auth_proof`]); a coordinator
+//! holding a token rejects hellos that omit or flunk it, same terminal
+//! path. While a shard executes, a side thread pulses `heartbeat` lines
+//! (under the shared writer lock, so lines never interleave) letting the
 //! coordinator tell a long-running cell from a dead socket. With
 //! `--retry N`, a failed connect or a dropped connection is retried with
 //! seeded, capped exponential backoff — but a `reject` is never retried.
+//!
+//! ## Mid-shard cancellation
+//!
+//! Incoming lines are drained by a dedicated reader thread into a small
+//! queue, so a `cancel` sent while a shard executes is visible *between
+//! cells*: the worker abandons the remaining cells of that lease, answers
+//! with `cancel_ack`, and goes back to waiting for leases. Without the
+//! reader thread the worker would not touch its socket until the whole
+//! shard had streamed — a cancelled job would keep burning CPU for the
+//! full lease.
 //!
 //! ## Fault injection
 //!
@@ -43,11 +56,14 @@
 use crate::exec::{build_table_cache, Worker as CellRunner};
 use crate::faults::{CellFate, FaultPlan, LineFate};
 use crate::plan::SweepPlan;
-use crate::proto::{read_line, write_line, FromWorker, ShardList, ToWorker, PROTO_VERSION};
+use crate::proto::{
+    auth_proof, read_line, write_line, FromWorker, ShardList, ToWorker, PROTO_VERSION,
+};
 use rh_core::{derive_seed, KernelChoice, SplitMix64};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Interval between heartbeat pulses while a shard is executing.
@@ -75,6 +91,9 @@ pub struct WorkerOptions {
     pub retries: u32,
     /// Base of the exponential reconnect backoff.
     pub backoff_base_ms: u64,
+    /// Shared secret (the trimmed contents of `--auth-token-file`) proven
+    /// in the hello; `None` sends an unauthenticated hello.
+    pub auth_token: Option<String>,
 }
 
 impl Default for WorkerOptions {
@@ -86,6 +105,7 @@ impl Default for WorkerOptions {
             config_epoch: 0,
             retries: 0,
             backoff_base_ms: 200,
+            auth_token: None,
         }
     }
 }
@@ -100,8 +120,8 @@ pub enum SessionEnd {
     Eof,
     /// The fault plan's scheduled crash fired: die like a crash would.
     Crashed,
-    /// The coordinator refused the hello (version/epoch skew). Terminal:
-    /// retrying cannot heal it.
+    /// The coordinator refused the hello (version/epoch skew or a failed
+    /// auth proof). Terminal: retrying cannot heal it.
     Rejected(String),
 }
 
@@ -111,6 +131,8 @@ pub enum SessionEnd {
 pub struct SessionOptions {
     pub config_epoch: u64,
     pub heartbeat_interval: Duration,
+    /// Shared secret proven in the hello, if any.
+    pub auth_token: Option<String>,
 }
 
 impl Default for SessionOptions {
@@ -118,6 +140,7 @@ impl Default for SessionOptions {
         Self {
             config_epoch: 0,
             heartbeat_interval: Duration::from_millis(HEARTBEAT_MS),
+            auth_token: None,
         }
     }
 }
@@ -128,6 +151,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<(), String> {
     base_plan.merge_exit_after_cells(opts.exit_after_cells);
     let session = SessionOptions {
         config_epoch: opts.config_epoch,
+        auth_token: opts.auth_token.clone(),
         ..SessionOptions::default()
     };
     match &opts.connect {
@@ -171,9 +195,10 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<(), String> {
             }
         }
         None => {
-            let stdin = std::io::stdin().lock();
-            // `Stdout` (not the lock) because the heartbeat thread needs the
-            // writer to be `Send`; each write_line locks internally.
+            // `Stdin`/`Stdout` handles (not the locks) because the reader
+            // and heartbeat threads need them to be `Send`; each access
+            // locks internally.
+            let stdin = BufReader::new(std::io::stdin());
             let stdout = std::io::stdout();
             let mut plan = base_plan;
             match worker_loop(stdin, stdout, &session, &mut plan)? {
@@ -198,7 +223,17 @@ fn connect_session(
             .try_clone()
             .map_err(|e| format!("worker: clone stream: {e}"))?,
     );
-    worker_loop(reader, stream, session, &mut plan)
+    // Handle the session-end teardown uses to unblock the reader thread:
+    // a full socket shutdown turns its blocked read into EOF and sends the
+    // peer a FIN, so a crashed/finished session is visible immediately even
+    // when this worker runs inside a long-lived process.
+    let teardown = stream
+        .try_clone()
+        .map_err(|e| format!("worker: clone stream: {e}"))?;
+    let unblock: UnblockReader = Box::new(move || {
+        let _ = teardown.shutdown(std::net::Shutdown::Both);
+    });
+    worker_loop_with(reader, stream, session, &mut plan, Some(unblock))
 }
 
 /// Heartbeat coordination between the protocol loop and its pulse thread:
@@ -208,14 +243,81 @@ struct BeatState {
     stop: bool,
 }
 
+/// Decoded coordinator lines, drained off the transport by the reader
+/// thread. `run_shard` scans this queue for a mid-shard `cancel` between
+/// cells; the protocol loop pops everything else in order.
+struct Incoming {
+    queue: VecDeque<Result<ToWorker, String>>,
+    /// The transport hit EOF or a terminal read/decode error; nothing more
+    /// will be queued.
+    closed: bool,
+}
+
+type Inbox = Arc<(Mutex<Incoming>, Condvar)>;
+
+/// Hook that unblocks the reader thread's pending read at session end
+/// (TCP: a full socket shutdown). Transports whose reader unblocks on its
+/// own (in-memory cursors, process-exit stdio) pass `None`.
+type UnblockReader = Box<dyn FnOnce() + Send>;
+
+/// Pop the next coordinator message in order; `Ok(None)` on clean EOF.
+fn next_msg(inbox: &Inbox) -> Result<Option<ToWorker>, String> {
+    let (lock, wake) = &**inbox;
+    let mut st = lock.lock().unwrap();
+    loop {
+        if let Some(msg) = st.queue.pop_front() {
+            return msg.map(Some);
+        }
+        if st.closed {
+            return Ok(None);
+        }
+        st = wake.wait(st).unwrap();
+    }
+}
+
+/// Remove and report a queued `cancel` for `job`, leaving every other
+/// message (later leases, the shutdown) untouched and in order.
+fn take_cancel(inbox: &Inbox, job: u64) -> bool {
+    let mut st = inbox.0.lock().unwrap();
+    let hit = st
+        .queue
+        .iter()
+        .position(|m| matches!(m, Ok(ToWorker::Cancel { job: j }) if *j == job));
+    match hit {
+        Some(at) => {
+            st.queue.remove(at);
+            true
+        }
+        None => false,
+    }
+}
+
 /// The worker protocol loop over any line-oriented transport. Returns how
 /// the session ended; `Err` is reserved for transport/protocol failures.
-pub fn worker_loop<R: BufRead, W: Write + Send>(
+pub fn worker_loop<R, W>(
+    reader: R,
+    writer: W,
+    session: &SessionOptions,
+    plan: &mut FaultPlan,
+) -> Result<SessionEnd, String>
+where
+    R: BufRead + Send + 'static,
+    W: Write + Send,
+{
+    worker_loop_with(reader, writer, session, plan, None)
+}
+
+fn worker_loop_with<R, W>(
     mut reader: R,
     writer: W,
     session: &SessionOptions,
     plan: &mut FaultPlan,
-) -> Result<SessionEnd, String> {
+    unblock: Option<UnblockReader>,
+) -> Result<SessionEnd, String>
+where
+    R: BufRead + Send + 'static,
+    W: Write + Send,
+{
     // What `--kernel auto` resolves to on this host/environment — recorded
     // by the coordinator per worker. Individual leases re-resolve their own
     // request.
@@ -231,10 +333,52 @@ pub fn worker_loop<R: BufRead, W: Write + Send>(
     });
     let beat_wake = Condvar::new();
 
+    let inbox: Inbox = Arc::new((
+        Mutex::new(Incoming {
+            queue: VecDeque::new(),
+            closed: false,
+        }),
+        Condvar::new(),
+    ));
+    // The reader runs unscoped with an owned transport half: it must be
+    // free to sit in a blocked read while the session ends (the `unblock`
+    // hook or process exit releases it), which a scoped join could not
+    // tolerate.
+    let reader_inbox = Arc::clone(&inbox);
+    std::thread::spawn(move || loop {
+        let (done, item) = match read_line(&mut reader) {
+            Ok(Some(line)) => {
+                let msg = ToWorker::decode(&line);
+                (msg.is_err(), Some(msg))
+            }
+            Ok(None) => (true, None),
+            Err(e) => (true, Some(Err(format!("worker: read: {e}")))),
+        };
+        let (lock, wake) = &*reader_inbox;
+        let mut st = lock.lock().unwrap();
+        if let Some(item) = item {
+            st.queue.push_back(item);
+        }
+        if done {
+            st.closed = true;
+        }
+        wake.notify_all();
+        if st.closed {
+            return;
+        }
+    });
+
     let out = std::thread::scope(|scope| {
         scope.spawn(|| {
             let mut st = beat.lock().unwrap();
             loop {
+                // Predicate before wait: on a loaded host the session can
+                // finish (and notify) before this thread first blocks, and
+                // a lost wakeup here would pin the join for a full
+                // heartbeat interval.
+                if st.stop {
+                    return;
+                }
                 let (next, _) = beat_wake
                     .wait_timeout(st, session.heartbeat_interval)
                     .unwrap();
@@ -253,35 +397,39 @@ pub fn worker_loop<R: BufRead, W: Write + Send>(
         });
 
         let result = (|| {
+            let (auth_nonce, auth_proof) = hello_auth(session, plan);
             let hello = FromWorker::Hello {
                 kernel: default_kernel.name().to_string(),
                 pid: u64::from(std::process::id()),
                 proto_version: PROTO_VERSION,
                 config_epoch: session.config_epoch,
+                auth_nonce,
+                auth_proof,
             };
             send(&writer, plan, &hello.encode()).map_err(|e| format!("worker: hello: {e}"))?;
 
             loop {
-                let line = match read_line(&mut reader) {
-                    Ok(Some(line)) => line,
+                match next_msg(&inbox)? {
                     // Coordinator hung up without a shutdown.
-                    Ok(None) => return Ok(SessionEnd::Eof),
-                    Err(e) => return Err(format!("worker: read: {e}")),
-                };
-                match ToWorker::decode(&line)? {
-                    ToWorker::Shutdown => return Ok(SessionEnd::Shutdown),
-                    ToWorker::Reject { reason } => return Ok(SessionEnd::Rejected(reason)),
-                    ToWorker::Shard {
+                    None => return Ok(SessionEnd::Eof),
+                    Some(ToWorker::Shutdown) => return Ok(SessionEnd::Shutdown),
+                    Some(ToWorker::Reject { reason }) => return Ok(SessionEnd::Rejected(reason)),
+                    // A cancel for a lease this worker no longer holds (it
+                    // finished before the cancel arrived): nothing to
+                    // abandon, nothing to ack.
+                    Some(ToWorker::Cancel { .. }) => {}
+                    Some(ToWorker::Shard {
                         job,
                         shard,
                         list,
                         indices,
                         kernel,
                         config,
-                    } => {
+                    }) => {
                         beat.lock().unwrap().active = Some((job, shard));
-                        let alive =
-                            run_shard(&writer, plan, job, shard, list, &indices, kernel, &config);
+                        let alive = run_shard(
+                            &writer, &inbox, plan, job, shard, list, &indices, kernel, &config,
+                        );
                         beat.lock().unwrap().active = None;
                         if !alive? {
                             // Scheduled crash: die by dropping the
@@ -297,7 +445,31 @@ pub fn worker_loop<R: BufRead, W: Write + Send>(
         beat_wake.notify_all();
         result
     });
+    // Unblock (and thereby retire) the reader thread before handing the
+    // session end to the caller — over TCP this also sends the FIN that
+    // makes a fault-injected crash observable to the coordinator.
+    if let Some(unblock) = unblock {
+        unblock();
+    }
     out
+}
+
+/// The auth fields of the hello: a seeded nonce plus the shared-secret
+/// proof, or nothing when no token was configured. The `wrong-token` fault
+/// arm deliberately derives the proof from a corrupted secret (well-formed,
+/// provably wrong), exercising the coordinator's reject path.
+fn hello_auth(session: &SessionOptions, plan: &FaultPlan) -> (u64, Option<String>) {
+    let nonce = SplitMix64::new(derive_seed(
+        plan.seed(),
+        &[u64::from(std::process::id()), 0xA07B],
+    ))
+    .next_u64();
+    match (&session.auth_token, plan.wrong_token()) {
+        (Some(token), false) => (nonce, Some(auth_proof(token, nonce))),
+        (Some(token), true) => (nonce, Some(auth_proof(&format!("{token}-wrong"), nonce))),
+        (None, true) => (nonce, Some(auth_proof("wrong-token-fault", nonce))),
+        (None, false) => (0, None),
+    }
 }
 
 /// Write one protocol line through the fault plan (which may drop or garble
@@ -312,10 +484,11 @@ fn send<W: Write>(writer: &Mutex<W>, plan: &mut FaultPlan, line: &str) -> std::i
 
 /// Execute one lease, streaming results. Returns `Ok(false)` when the fault
 /// plan's crash fired (the caller drops the connection), `Ok(true)` after a
-/// clean `shard_done` or `fail`.
+/// clean `shard_done`, `fail`, or acknowledged mid-shard cancel.
 #[allow(clippy::too_many_arguments)]
 fn run_shard<W: Write>(
     writer: &Mutex<W>,
+    inbox: &Inbox,
     plan: &mut FaultPlan,
     job: u64,
     shard: u64,
@@ -361,6 +534,14 @@ fn run_shard<W: Write>(
     let tables = build_table_cache(&sweep_plan, &leased);
     let mut runner = CellRunner::with_kernel(resolved);
     for (&index, cell) in indices.iter().zip(&leased) {
+        // Cancellation is checked at cell boundaries: a `cancel` queued by
+        // the reader thread abandons the rest of the lease immediately,
+        // and the ack tells the coordinator not to requeue it.
+        if take_cancel(inbox, job) {
+            let ack = FromWorker::CancelAck { job, shard };
+            send(writer, plan, &ack.encode()).map_err(|e| format!("worker: write: {e}"))?;
+            return Ok(true);
+        }
         let result = runner.run_cell(&sweep_plan, cell, &tables);
         let msg = FromWorker::Cell {
             job,
@@ -622,6 +803,7 @@ mod tests {
         let session = SessionOptions {
             config_epoch: 7,
             heartbeat_interval: Duration::from_secs(3_600),
+            ..SessionOptions::default()
         };
         let mut plan = FaultPlan::default();
         worker_loop(
@@ -642,6 +824,8 @@ mod tests {
             pid,
             proto_version,
             config_epoch,
+            auth_nonce,
+            auth_proof,
         } = FromWorker::decode(&first).unwrap()
         else {
             panic!("first line must be hello");
@@ -650,6 +834,8 @@ mod tests {
         assert_eq!(pid, u64::from(std::process::id()));
         assert_eq!(proto_version, PROTO_VERSION);
         assert_eq!(config_epoch, 7);
+        assert_eq!(auth_nonce, 0, "no token configured, no nonce");
+        assert_eq!(auth_proof, None, "no token configured, no proof");
         // And the hello line is valid jsonl for the coordinator's parser.
         let reparsed = proto::parse(&first).unwrap();
         assert_eq!(
@@ -687,6 +873,7 @@ mod tests {
         let session = SessionOptions {
             config_epoch: 0,
             heartbeat_interval: Duration::from_millis(20),
+            ..SessionOptions::default()
         };
         // Stall 400ms after the first cell: the pulse thread gets ~20
         // chances to fire while the lease is active.
@@ -709,5 +896,161 @@ mod tests {
             })
             .count();
         assert!(beats >= 1, "a stalled shard must still pulse heartbeats");
+    }
+
+    /// Like [`drive_plan`] but with a caller-supplied session.
+    fn drive_session(
+        script: &[String],
+        mut plan: FaultPlan,
+        session: &SessionOptions,
+    ) -> (Vec<FromWorker>, SessionEnd) {
+        let input = script.join("\n") + "\n";
+        let mut out: Vec<u8> = Vec::new();
+        let end = worker_loop(
+            Cursor::new(input.into_bytes()),
+            &mut out,
+            session,
+            &mut plan,
+        )
+        .unwrap();
+        let msgs = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| FromWorker::decode(l).unwrap())
+            .collect();
+        (msgs, end)
+    }
+
+    #[test]
+    fn cancel_abandons_the_lease_mid_shard_with_an_ack() {
+        let cfg = small_config();
+        let total = SweepPlan::from_config(&cfg).unwrap().grid.len();
+        assert!(total > 2);
+        let lease = ToWorker::Shard {
+            job: 4,
+            shard: 1,
+            list: ShardList::Grid,
+            indices: (0..total).collect(),
+            kernel: KernelChoice::Auto,
+            config: cfg,
+        };
+        // The stall guarantees the cancel (queued by the reader thread as
+        // soon as the cursor drains) is visible at a cell boundary well
+        // before the shard would finish.
+        let (msgs, end) = drive_plan(
+            &[
+                lease.encode(),
+                ToWorker::Cancel { job: 4 }.encode(),
+                ToWorker::Shutdown.encode(),
+            ],
+            FaultPlan::parse("stall-after-cells=1,stall-ms=300").unwrap(),
+        );
+        assert_eq!(end, SessionEnd::Shutdown, "the session outlives the cancel");
+        let cells = msgs
+            .iter()
+            .filter(|m| matches!(m, FromWorker::Cell { .. }))
+            .count();
+        assert!(cells < total, "the lease must be abandoned early: {cells}");
+        assert!(
+            msgs.iter()
+                .any(|m| matches!(m, FromWorker::CancelAck { job: 4, shard: 1 })),
+            "an abandoned lease must be acknowledged"
+        );
+        assert!(
+            !msgs
+                .iter()
+                .any(|m| matches!(m, FromWorker::ShardDone { .. })),
+            "a cancelled lease must not report shard_done"
+        );
+    }
+
+    #[test]
+    fn cancel_for_another_job_leaves_the_lease_alone() {
+        let cfg = small_config();
+        let total = SweepPlan::from_config(&cfg).unwrap().grid.len();
+        let lease = ToWorker::Shard {
+            job: 4,
+            shard: 1,
+            list: ShardList::Grid,
+            indices: (0..total).collect(),
+            kernel: KernelChoice::Auto,
+            config: cfg,
+        };
+        let (msgs, end) = drive_plan(
+            &[
+                lease.encode(),
+                ToWorker::Cancel { job: 99 }.encode(),
+                ToWorker::Shutdown.encode(),
+            ],
+            FaultPlan::parse("stall-after-cells=1,stall-ms=100").unwrap(),
+        );
+        assert_eq!(end, SessionEnd::Shutdown);
+        let cells = msgs
+            .iter()
+            .filter(|m| matches!(m, FromWorker::Cell { .. }))
+            .count();
+        assert_eq!(cells, total, "an unrelated cancel must not shed cells");
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, FromWorker::ShardDone { .. })));
+        assert!(
+            !msgs
+                .iter()
+                .any(|m| matches!(m, FromWorker::CancelAck { .. })),
+            "nothing to acknowledge for a job this worker is not running"
+        );
+    }
+
+    #[test]
+    fn authenticated_hello_carries_a_valid_proof() {
+        let session = SessionOptions {
+            auth_token: Some("s3cret".into()),
+            ..quiet_session()
+        };
+        let (msgs, _) = drive_session(
+            &[ToWorker::Shutdown.encode()],
+            FaultPlan::default(),
+            &session,
+        );
+        let FromWorker::Hello {
+            auth_nonce,
+            auth_proof: proof,
+            ..
+        } = &msgs[0]
+        else {
+            panic!("first line must be hello");
+        };
+        assert_eq!(
+            proof.as_deref(),
+            Some(auth_proof("s3cret", *auth_nonce).as_str()),
+            "the proof must verify against the shared token and the nonce"
+        );
+    }
+
+    #[test]
+    fn wrong_token_fault_sends_a_provably_bad_proof() {
+        let session = SessionOptions {
+            auth_token: Some("s3cret".into()),
+            ..quiet_session()
+        };
+        let (msgs, _) = drive_session(
+            &[ToWorker::Shutdown.encode()],
+            FaultPlan::parse("wrong-token=1").unwrap(),
+            &session,
+        );
+        let FromWorker::Hello {
+            auth_nonce,
+            auth_proof: proof,
+            ..
+        } = &msgs[0]
+        else {
+            panic!("first line must be hello");
+        };
+        let proof = proof.as_deref().expect("the fault still sends a proof");
+        assert_ne!(
+            proof,
+            auth_proof("s3cret", *auth_nonce),
+            "the wrong-token fault must fail verification"
+        );
     }
 }

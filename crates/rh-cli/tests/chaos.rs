@@ -296,6 +296,75 @@ fn garbled_checkpoint_record_is_skipped_and_reexecuted_on_restore() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Job-manager fault arm: `cancel-after-cells=N` cancels the owning job
+/// the moment its N-th cell merges. The worker abandons the rest of its
+/// lease mid-shard (no requeue), stays connected, and serves a resubmit of
+/// the same config to identical bytes.
+#[test]
+fn cancel_after_cells_fault_aborts_mid_run_and_the_pool_recovers() {
+    let cfg = chaos_config();
+    let mut opts = opts_with_workers(1);
+    opts.fault_plan = FaultPlan::parse("cancel-after-cells=3").expect("plan");
+    let coordinator = Coordinator::start(opts).expect("start");
+    let err = coordinator
+        .submit(None, &cfg)
+        .expect_err("the fault cancels the job mid-run");
+    assert!(err.contains("cancel"), "got: {err}");
+    assert_eq!(coordinator.cancelled_jobs(), 1);
+    assert_eq!(coordinator.live_workers(), 1, "a cancel is not a crash");
+
+    // The fault fired once (it keys on the coordinator-lifetime merged-cell
+    // counter); the same pool completes the resubmit byte-identically.
+    let env = coordinator.submit(None, &cfg).expect("resubmit");
+    coordinator.shutdown();
+    assert_eq!(env.document, chaos_reference());
+    assert_eq!(env.cancelled_jobs, 1, "the envelope remembers the casualty");
+}
+
+/// Job-manager fault arm: `slow-client=MS` stalls every client reply — a
+/// slow-reading client. The reply is late but byte-perfect, and the delay
+/// must not leak into other submits' results.
+#[test]
+fn slow_client_fault_delays_replies_without_corrupting_them() {
+    use rh_cli::proto::{ClientMsg, ResultEnvelope};
+    use std::io::{BufRead, BufReader, Write};
+
+    let cfg = chaos_config();
+    let mut opts = opts_with_workers(1);
+    opts.listen = Some("127.0.0.1:0".to_string());
+    opts.fault_plan = FaultPlan::parse("slow-client=150").expect("plan");
+    let coordinator = Coordinator::start(opts).expect("start");
+    // Warm the cache in-process so the TCP submit below is answered
+    // instantly — any delay observed is the fault's, not execution time.
+    let warm = coordinator.submit(None, &cfg).expect("warmup");
+    assert_eq!(warm.document, chaos_reference());
+
+    let addr = coordinator.local_addr().expect("bound");
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let submit = ClientMsg::Submit {
+        id: Some("slow".into()),
+        config: cfg.clone(),
+        deadline_ms: None,
+    };
+    let t0 = std::time::Instant::now();
+    writer
+        .write_all(format!("{}\n", submit.encode()).as_bytes())
+        .expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(150),
+        "the cache-hit reply must be stalled by the fault, took {:?}",
+        t0.elapsed()
+    );
+    let env = ResultEnvelope::decode(line.trim()).expect("a decodable envelope");
+    assert_eq!(env.document, chaos_reference(), "late, but byte-perfect");
+    assert!(env.served_from_cache);
+    coordinator.shutdown();
+}
+
 /// Satellite (b): a dead coordinator address fails fast with a clear
 /// message when `--timeout` is set — a wedged endpoint must not wedge
 /// the client.
@@ -305,6 +374,8 @@ fn submit_timeout_names_the_endpoint_and_fails_fast() {
         // Reserved port: connect is refused or times out, never accepted.
         connect: "127.0.0.1:1".to_string(),
         timeout: Some(Duration::from_secs(2)),
+        deadline_ms: None,
+        auth_token: None,
     };
     let err = run_submit(&opts).expect_err("nothing listens on port 1");
     assert!(err.contains("127.0.0.1:1"), "got: {err}");
