@@ -436,7 +436,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport, String> {
     })
 }
 
-fn fnum(x: f64) -> String {
+pub(crate) fn fnum(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
     } else {
@@ -446,7 +446,7 @@ fn fnum(x: f64) -> String {
 
 /// Minimal JSON string escaping for metadata fields (the hand-rolled
 /// emitter elsewhere only handles known-clean names).
-fn jstr(s: &str) -> String {
+pub(crate) fn jstr(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -764,6 +764,230 @@ pub fn render_saturation(report: &SaturationReport) -> String {
         report.available_parallelism,
         fnum(report.peak_cells_per_sec),
         report.identical_bytes,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Analysis bench (`bench --analysis` → BENCH_8.json)
+// ---------------------------------------------------------------------------
+
+/// Options for the closed-form evaluation throughput bench.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Drop the largest window from the grid for CI smoke runs.
+    pub quick: bool,
+    /// Where to write the JSON report.
+    pub out_path: String,
+    /// Timing runs per grid point; the minimum is reported.
+    pub repeat: usize,
+    /// Fail the run if the direct form's aggregate throughput lands below
+    /// this many evaluations/sec (the CI perf guard hook; `None` disables).
+    pub min_evals_per_sec: Option<f64>,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            out_path: "BENCH_8.json".to_string(),
+            repeat: 3,
+            min_evals_per_sec: None,
+        }
+    }
+}
+
+/// One timed `(mac, window)` grid point.
+#[derive(Debug, Clone)]
+pub struct AnalysisPoint {
+    pub mac: u64,
+    pub window: u64,
+    /// Closed-form evaluations timed per form (all sampling rates ×
+    /// the inner repetition count).
+    pub evals: u64,
+    pub direct_secs: f64,
+    pub dual_secs: f64,
+}
+
+/// Full analysis-bench outcome (`BENCH_8.json`).
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    pub quick: bool,
+    pub repeat: usize,
+    pub rustc_version: String,
+    pub git_revision: String,
+    pub points: Vec<AnalysisPoint>,
+    pub direct_evals_per_sec: f64,
+    pub dual_evals_per_sec: f64,
+    /// Bisection solves of `required_p` timed end to end.
+    pub solves: u64,
+    pub solver_secs: f64,
+    pub solves_per_sec: f64,
+    /// Largest `|direct − dual|` seen anywhere in the timed grid.
+    pub max_divergence: f64,
+    /// `max_divergence < 1e-9` — the tentpole's agreement contract,
+    /// re-checked on every bench run at full grid scale.
+    pub agreement: bool,
+}
+
+/// The sampling rates every grid point evaluates (the sweep's PARA axis
+/// plus denser coverage toward deployable rates).
+const ANALYSIS_PS: [f64; 5] = [0.001, 0.004, 0.016, 0.05, 0.2];
+
+/// Time the closed forms and the inverse solver over a pinned
+/// `(mac, window, p)` grid, verifying direct/dual agreement at every
+/// point. Pure CPU arithmetic — no simulator involved — so this measures
+/// (and guards) the cost of the analytical layer itself: crossval runs
+/// thousands of these evaluations, and `configure` answers interactively.
+pub fn run_analysis(opts: &AnalysisOptions) -> Result<AnalysisReport, String> {
+    if opts.repeat == 0 {
+        return Err("--repeat must be at least 1".to_string());
+    }
+    let macs: &[u64] = &[4, 8, 16, 32, 64];
+    let windows: &[u64] = if opts.quick {
+        &[1_000, 4_096]
+    } else {
+        &[1_000, 4_096, 16_384]
+    };
+    // Inner repetitions make each timing sample long enough to resolve: a
+    // single O(window) direct evaluation is sub-microsecond.
+    let inner: u64 = if opts.quick { 50 } else { 200 };
+
+    let mut points = Vec::with_capacity(macs.len() * windows.len());
+    let mut direct_secs_total = 0.0;
+    let mut dual_secs_total = 0.0;
+    let mut evals_total = 0u64;
+    let mut max_divergence = 0.0f64;
+    for &mac in macs {
+        for &window in windows {
+            // Agreement first (untimed): the bench doubles as the grid-scale
+            // re-check of the 1e-9 contract.
+            for &p in &ANALYSIS_PS {
+                let direct = rh_analysis::p_fail_direct(p, mac, window);
+                let dual = rh_analysis::p_fail_dual(p, mac, window);
+                max_divergence = max_divergence.max((direct - dual).abs());
+            }
+            let evals = ANALYSIS_PS.len() as u64 * inner;
+            let mut direct_secs = f64::INFINITY;
+            let mut dual_secs = f64::INFINITY;
+            for _ in 0..opts.repeat {
+                let t0 = Instant::now();
+                for _ in 0..inner {
+                    for &p in &ANALYSIS_PS {
+                        std::hint::black_box(rh_analysis::p_fail_direct(
+                            std::hint::black_box(p),
+                            mac,
+                            window,
+                        ));
+                    }
+                }
+                direct_secs = direct_secs.min(t0.elapsed().as_secs_f64());
+                let t1 = Instant::now();
+                for _ in 0..inner {
+                    for &p in &ANALYSIS_PS {
+                        std::hint::black_box(rh_analysis::p_fail_dual(
+                            std::hint::black_box(p),
+                            mac,
+                            window,
+                        ));
+                    }
+                }
+                dual_secs = dual_secs.min(t1.elapsed().as_secs_f64());
+            }
+            direct_secs_total += direct_secs;
+            dual_secs_total += dual_secs;
+            evals_total += evals;
+            points.push(AnalysisPoint {
+                mac,
+                window,
+                evals,
+                direct_secs,
+                dual_secs,
+            });
+        }
+    }
+
+    // The inverse solver, timed over the same mac axis at a medium window —
+    // each solve is ~100 direct evaluations, the cost `configure` pays.
+    let solver_targets: &[f64] = &[0.5, 0.1, 0.01];
+    let solve_window = 4_096u64;
+    let mut solver_secs = f64::INFINITY;
+    let solves = (macs.len() * solver_targets.len()) as u64;
+    for _ in 0..opts.repeat {
+        let t0 = Instant::now();
+        for &mac in macs {
+            for &target in solver_targets {
+                std::hint::black_box(rh_analysis::required_p(
+                    mac,
+                    solve_window,
+                    std::hint::black_box(target),
+                ));
+            }
+        }
+        solver_secs = solver_secs.min(t0.elapsed().as_secs_f64());
+    }
+
+    Ok(AnalysisReport {
+        quick: opts.quick,
+        repeat: opts.repeat,
+        rustc_version: tool_version("rustc", &["--version"]),
+        git_revision: tool_version("git", &["rev-parse", "--short", "HEAD"]),
+        points,
+        direct_evals_per_sec: evals_total as f64 / direct_secs_total,
+        dual_evals_per_sec: evals_total as f64 / dual_secs_total,
+        solves,
+        solver_secs,
+        solves_per_sec: solves as f64 / solver_secs,
+        max_divergence,
+        agreement: max_divergence < 1e-9,
+    })
+}
+
+/// Render the analysis report (the `BENCH_8.json` artifact).
+pub fn render_analysis(report: &AnalysisReport) -> String {
+    let mut rows = String::new();
+    for (i, p) in report.points.iter().enumerate() {
+        let sep = if i + 1 < report.points.len() { "," } else { "" };
+        let _ = writeln!(
+            rows,
+            "    {{\"mac\": {}, \"window\": {}, \"evals\": {}, \
+             \"direct_evals_per_sec\": {}, \"dual_evals_per_sec\": {}}}{sep}",
+            p.mac,
+            p.window,
+            p.evals,
+            fnum(p.evals as f64 / p.direct_secs),
+            fnum(p.evals as f64 / p.dual_secs),
+        );
+    }
+    format!(
+        "{{\n  \"bench\": \"closed-form failure-model evaluation throughput \
+         (direct recurrence, Markov dual, bisection solver)\",\n  \
+         \"quick\": {},\n  \
+         \"repeat\": {},\n  \
+         \"rustc\": {},\n  \
+         \"git_revision\": {},\n  \
+         \"points\": [\n{rows}  ],\n  \
+         \"direct_evals_per_sec\": {},\n  \
+         \"dual_evals_per_sec\": {},\n  \
+         \"solver\": {{\"solves\": {}, \"wall_secs\": {}, \"solves_per_sec\": {}}},\n  \
+         \"max_divergence\": {},\n  \
+         \"agreement\": {}\n}}",
+        report.quick,
+        report.repeat,
+        jstr(&report.rustc_version),
+        jstr(&report.git_revision),
+        fnum(report.direct_evals_per_sec),
+        fnum(report.dual_evals_per_sec),
+        report.solves,
+        fnum(report.solver_secs),
+        fnum(report.solves_per_sec),
+        // Divergence sits at the 1e-12 scale; fixed 3-decimal formatting
+        // would flatten it to 0.000.
+        if report.max_divergence.is_finite() {
+            format!("{:e}", report.max_divergence)
+        } else {
+            "null".to_string()
+        },
+        report.agreement,
     )
 }
 

@@ -4,7 +4,8 @@
 //! path is unit-testable. Parsing is purely syntactic; semantic validation
 //! is shared with programmatic callers via [`SweepConfig::validate`].
 
-use crate::bench::{BenchOptions, SaturationOptions};
+use crate::bench::{AnalysisOptions, BenchOptions, SaturationOptions};
+use crate::configure::ConfigureOptions;
 use crate::faults::FaultPlan;
 use crate::serve::{CancelOptions, ServeOptions, SubmitOptions};
 use crate::sweep::SweepConfig;
@@ -20,6 +21,10 @@ USAGE:
                  [--min-acts-per-sec <RATE>] [--kernel <K>]
     rh-cli bench --saturation [--quick] [--out <PATH>] [--workers <A,B,...>]
                  [--kernel <K>] [--min-cells-per-sec <RATE>]
+    rh-cli bench --analysis [--quick] [--out <PATH>] [--repeat <N>]
+                 [--min-evals-per-sec <RATE>]
+    rh-cli configure --hc <N> --window <N> --target-pfail <P>
+                     [--validate] [--trials <N>] [--seed <N>]
     rh-cli serve [--workers <N>] [--listen <ADDR>] [--kernel <K>]
                  [--cache-capacity <N>] [--checkpoint-dir <DIR>]
                  [--shard-cells <N>] [--cache-dir <DIR>] [--config-epoch <N>]
@@ -93,6 +98,37 @@ pool size it starts a coordinator, spawns that many rh-cli worker
 processes, submits the default sweep, and records cells/sec from submit to
 merged envelope — byte-checking every merged document against the
 in-process sweep.
+
+ANALYSIS BENCH OPTIONS (bench --analysis):
+    --quick                 drop the largest window from the timed grid
+    --out <PATH>            report path (default BENCH_8.json)
+    --repeat <N>            timing runs per grid point, min reported
+                            (default 3)
+    --min-evals-per-sec <R> exit non-zero if the direct form's aggregate
+                            throughput falls below R evaluations/sec
+
+bench --analysis times the rh-analysis closed forms (the direct recurrence
+and the Markov-chain dual) and the required_p bisection solver over a
+pinned (mac, window, p) grid, re-checks the two forms agree within 1e-9 at
+every point, and writes a JSON report with per-point and aggregate
+evaluation throughput.
+
+CONFIGURE OPTIONS:
+    --hc <N>                device HC_first in activations (required, >= 2)
+    --window <N>            attack window in activations (required)
+    --target-pfail <P>      failure-probability budget over the window,
+                            in (0, 1] (required)
+    --validate              run a seeded mini-sweep through the simulator
+                            and check the recommendation's failure rate
+                            lands inside the analytical confidence band
+                            (exit non-zero when it does not)
+    --trials <N>            windows the mini-sweep simulates (default 400)
+    --seed <N>              mini-sweep root seed (default 0xC0FFEE)
+
+configure answers \"what PARA sampling rate do I need\" from the closed-form
+failure model (rh-analysis): it prints the smallest p whose analytical
+failure probability meets the target, as JSON in the same hand-rolled
+style as sweep. See docs/ARCHITECTURE.md, \"Analytical cross-validation\".
 
 SERVE OPTIONS:
     --workers <N>           local worker processes to spawn (default 2)
@@ -224,14 +260,19 @@ pub enum BenchInvocation {
     Bench(BenchOptions),
     /// `bench --saturation`: the distributed service throughput bench.
     Saturation(SaturationOptions),
+    /// `bench --analysis`: closed-form evaluation throughput.
+    Analysis(AnalysisOptions),
 }
 
-/// Parse the arguments following the `bench` subcommand. `--saturation`
-/// anywhere switches to the saturation-bench flag set (the two modes share
-/// `--quick`/`--out`/`--kernel` but disagree about everything else).
+/// Parse the arguments following the `bench` subcommand. `--saturation` or
+/// `--analysis` anywhere switches to that mode's flag set (the modes share
+/// `--quick`/`--out` but disagree about everything else).
 pub fn parse_bench_args(args: &[String]) -> Result<BenchInvocation, String> {
     if args.iter().any(|a| a == "--saturation") {
         return parse_saturation_args(args);
+    }
+    if args.iter().any(|a| a == "--analysis") {
+        return parse_analysis_args(args);
     }
     let mut opts = BenchOptions::default();
     let mut i = 0;
@@ -316,6 +357,106 @@ fn parse_saturation_args(args: &[String]) -> Result<BenchInvocation, String> {
         i += 1;
     }
     Ok(BenchInvocation::Saturation(opts))
+}
+
+/// Parse `bench --analysis` flags.
+fn parse_analysis_args(args: &[String]) -> Result<BenchInvocation, String> {
+    let mut opts = AnalysisOptions::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--analysis" => {}
+            "--quick" => opts.quick = true,
+            "--out" => opts.out_path = value(&mut i, "--out")?,
+            "--repeat" => {
+                let v = value(&mut i, "--repeat")?;
+                opts.repeat = v.parse().map_err(|_| format!("invalid --repeat '{v}'"))?;
+                if opts.repeat == 0 {
+                    return Err("--repeat must be at least 1".to_string());
+                }
+            }
+            "--min-evals-per-sec" => {
+                let v = value(&mut i, "--min-evals-per-sec")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --min-evals-per-sec '{v}'"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(format!("--min-evals-per-sec must be positive, got '{v}'"));
+                }
+                opts.min_evals_per_sec = Some(rate);
+            }
+            "-h" | "--help" => return Ok(BenchInvocation::Help),
+            other => return Err(format!("unknown bench --analysis option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(BenchInvocation::Analysis(opts))
+}
+
+/// Outcome of parsing the arguments after `configure`.
+#[derive(Debug, Clone)]
+pub enum ConfigureInvocation {
+    Help,
+    Configure(ConfigureOptions),
+}
+
+/// Parse the arguments following the `configure` subcommand. Syntactic
+/// errors are caught per flag; range checks that also guard programmatic
+/// callers (hc >= 2, target in (0, 1]) live in
+/// [`crate::configure::run_configure`].
+pub fn parse_configure_args(args: &[String]) -> Result<ConfigureInvocation, String> {
+    let mut hc_first = None;
+    let mut window = None;
+    let mut target_pfail = None;
+    let mut opts = ConfigureOptions::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--hc" => {
+                let v = value(&mut i, "--hc")?;
+                hc_first = Some(v.parse().map_err(|_| format!("invalid --hc '{v}'"))?);
+            }
+            "--window" => {
+                let v = value(&mut i, "--window")?;
+                window = Some(v.parse().map_err(|_| format!("invalid --window '{v}'"))?);
+            }
+            "--target-pfail" => {
+                let v = value(&mut i, "--target-pfail")?;
+                target_pfail = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --target-pfail '{v}'"))?,
+                );
+            }
+            "--validate" => opts.validate = true,
+            "--trials" => {
+                let v = value(&mut i, "--trials")?;
+                opts.trials = v.parse().map_err(|_| format!("invalid --trials '{v}'"))?;
+            }
+            "--seed" => {
+                let v = value(&mut i, "--seed")?;
+                opts.seed = parse_u64_maybe_hex(&v).ok_or(format!("invalid --seed '{v}'"))?;
+            }
+            "-h" | "--help" => return Ok(ConfigureInvocation::Help),
+            other => return Err(format!("unknown configure option '{other}'")),
+        }
+        i += 1;
+    }
+    opts.hc_first = hc_first.ok_or("configure requires --hc <N>")?;
+    opts.window = window.ok_or("configure requires --window <N>")?;
+    opts.target_pfail = target_pfail.ok_or("configure requires --target-pfail <P>")?;
+    Ok(ConfigureInvocation::Configure(opts))
 }
 
 /// Read a shared-secret token file for `--auth-token-file`: the secret is

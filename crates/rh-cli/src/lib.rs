@@ -26,6 +26,7 @@
 pub mod bench;
 pub mod cache;
 pub mod cli;
+pub mod configure;
 pub mod engine;
 pub mod exec;
 pub mod faults;
@@ -38,6 +39,10 @@ pub mod worker;
 
 pub use bench::{run_bench, BenchOptions, BenchReport};
 pub use cache::{PersistentCache, ResultCache};
+pub use configure::{
+    analytic_pfail, empirical_failure_rate, recommended_p, run_configure, ConfigureOptions,
+    ConfigureReport, CROSSVAL_Z,
+};
 pub use engine::{run_experiment, RunResult};
 pub use faults::FaultPlan;
 pub use plan::{CellSeeds, CellSpec, SweepPlan};

@@ -4,11 +4,13 @@
 //! the library so both are unit-testable. See `rh-cli --help` for options.
 
 use rh_cli::cli::{
-    parse_args, parse_bench_args, parse_cancel_args, parse_serve_args, parse_submit_args,
-    parse_worker_args, BenchInvocation, CancelInvocation, Invocation, ServeInvocation,
-    SubmitInvocation, WorkerInvocation, USAGE,
+    parse_args, parse_bench_args, parse_cancel_args, parse_configure_args, parse_serve_args,
+    parse_submit_args, parse_worker_args, BenchInvocation, CancelInvocation, ConfigureInvocation,
+    Invocation, ServeInvocation, SubmitInvocation, WorkerInvocation, USAGE,
 };
-use rh_cli::{bench, json, run_cancel, run_serve, run_submit, run_sweep_with_kernel, run_worker};
+use rh_cli::{
+    bench, configure, json, run_cancel, run_serve, run_submit, run_sweep_with_kernel, run_worker,
+};
 use std::process::ExitCode;
 
 fn run_bench_command(opts: &bench::BenchOptions) -> ExitCode {
@@ -89,6 +91,90 @@ fn run_saturation_command(opts: &bench::SaturationOptions) -> ExitCode {
     }
 }
 
+fn run_analysis_command(opts: &bench::AnalysisOptions) -> ExitCode {
+    match bench::run_analysis(opts) {
+        Ok(report) => {
+            let doc = bench::render_analysis(&report);
+            if let Err(e) = std::fs::write(&opts.out_path, format!("{doc}\n")) {
+                eprintln!("error: cannot write {}: {e}", opts.out_path);
+                return ExitCode::FAILURE;
+            }
+            println!("{doc}");
+            eprintln!(
+                "analysis: direct {:.0} evals/sec, dual {:.0} evals/sec, \
+                 solver {:.0} solves/sec, report at {}",
+                report.direct_evals_per_sec,
+                report.dual_evals_per_sec,
+                report.solves_per_sec,
+                opts.out_path
+            );
+            if !report.agreement {
+                eprintln!(
+                    "error: direct and dual closed forms diverged by {:e} (over the 1e-9 \
+                     agreement contract)",
+                    report.max_divergence
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Some(min) = opts.min_evals_per_sec {
+                if report.direct_evals_per_sec < min {
+                    eprintln!(
+                        "error: direct-form throughput {:.0} evals/sec below the \
+                         --min-evals-per-sec floor of {min:.0} (perf regression)",
+                        report.direct_evals_per_sec
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_configure_command(opts: &configure::ConfigureOptions) -> ExitCode {
+    match configure::run_configure(opts) {
+        Ok(report) => {
+            let doc = configure::render_configure(&report);
+            println!("{doc}");
+            eprintln!(
+                "configure: p = {} gives P_fail = {} over {} activations at HC_first {}",
+                report.recommended_p, report.analytic_pfail, report.window, report.hc_first
+            );
+            if report.divergence >= 1e-9 {
+                eprintln!(
+                    "error: direct and dual closed forms diverged by {:e} at the \
+                     recommendation (over the 1e-9 agreement contract)",
+                    report.divergence
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Some(v) = &report.validation {
+                eprintln!(
+                    "configure: validation {}/{} failures, band [{}, {}] vs analytic {}",
+                    v.failures, v.trials, v.band_lo, v.band_hi, report.analytic_pfail
+                );
+                if !v.pass {
+                    eprintln!(
+                        "error: the mini-sweep's failure rate is inconsistent with the \
+                         analytical prediction (model or engine drift — see \
+                         docs/ARCHITECTURE.md, analytical cross-validation)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -99,6 +185,18 @@ fn main() -> ExitCode {
             }
             Ok(BenchInvocation::Bench(opts)) => run_bench_command(&opts),
             Ok(BenchInvocation::Saturation(opts)) => run_saturation_command(&opts),
+            Ok(BenchInvocation::Analysis(opts)) => run_analysis_command(&opts),
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("configure") => match parse_configure_args(&args[1..]) {
+            Ok(ConfigureInvocation::Help) => {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            Ok(ConfigureInvocation::Configure(opts)) => run_configure_command(&opts),
             Err(e) => {
                 eprintln!("error: {e}\n\n{USAGE}");
                 ExitCode::FAILURE

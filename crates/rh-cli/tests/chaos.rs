@@ -321,6 +321,76 @@ fn cancel_after_cells_fault_aborts_mid_run_and_the_pool_recovers() {
     assert_eq!(env.cancelled_jobs, 1, "the envelope remembers the casualty");
 }
 
+/// A cancel landing while a job is mid-checkpoint-restore tears down
+/// cleanly. Restored cells do not advance the fault plan's merged-cell
+/// counter, so `cancel-after-cells=2` is guaranteed to fire while the
+/// restored job is still completing its holes — and the teardown must not
+/// leak restored state into a later byte-identical resubmit: the next
+/// job's restore accounts for exactly the records on disk, re-executes
+/// only the holes, and merges to the reference bytes.
+#[test]
+fn cancel_mid_checkpoint_restore_leaves_no_restored_cell_leak() {
+    let dir = scratch_dir("ckpt-cancel");
+    let cfg = chaos_config();
+    let total = cell_count(&cfg);
+
+    // Run 1: the sole worker crashes after 5 cells, stranding the job and
+    // leaving exactly 5 checkpoint records on disk.
+    let mut opts = opts_with_workers(1);
+    opts.checkpoint_dir = Some(dir.clone());
+    opts.worker_extra_args = vec![vec!["--fault-plan".into(), "crash-after-cells=5".into()]];
+    let coordinator = Coordinator::start(opts).expect("start");
+    let err = coordinator
+        .submit(None, &cfg)
+        .expect_err("sole worker crashed: the job cannot finish");
+    assert!(err.contains("workers exited"), "got: {err}");
+    coordinator.shutdown();
+
+    // Run 2: a fresh coordinator restores those 5 cells at submit, then
+    // the fault cancels the job the moment its 2nd *fresh* cell merges.
+    // The merge path checkpoints a cell before checking the fault, so
+    // exactly one new record lands on disk before the teardown.
+    let mut opts = opts_with_workers(1);
+    opts.checkpoint_dir = Some(dir.clone());
+    opts.fault_plan = FaultPlan::parse("cancel-after-cells=2").expect("plan");
+    let coordinator = Coordinator::start(opts).expect("restart");
+    let err = coordinator
+        .submit(None, &cfg)
+        .expect_err("the fault cancels the restored job mid-flight");
+    assert!(err.contains("cancel"), "got: {err}");
+    assert_eq!(coordinator.cancelled_jobs(), 1);
+    assert_eq!(coordinator.live_workers(), 1, "a cancel is not a crash");
+
+    // Run 3: a byte-identical resubmit on the same pool (the fault keys on
+    // the lifetime counter and has already fired). A clean teardown means
+    // the new job sees only what is durably on disk — 5 crash-era records
+    // plus the single pre-cancel record — and nothing from the canceled
+    // job's in-memory state.
+    let env = coordinator.submit(None, &cfg).expect("resubmit");
+    coordinator.shutdown();
+    assert!(
+        !env.served_from_cache,
+        "a canceled job must never seed the result cache"
+    );
+    assert_eq!(
+        env.checkpoint_cells, 6,
+        "5 crash-era records + 1 merged before the cancel fired"
+    );
+    assert_eq!(
+        env.checkpoint_skipped, 0,
+        "teardown must not garble records"
+    );
+    assert_eq!(
+        env.executed_cells,
+        total - 6,
+        "restored cells must not re-execute"
+    );
+    assert_eq!(env.cancelled_jobs, 1, "the envelope remembers the casualty");
+    assert_eq!(env.document, chaos_reference(), "bytes are unaffected");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Job-manager fault arm: `slow-client=MS` stalls every client reply — a
 /// slow-reading client. The reply is late but byte-perfect, and the delay
 /// must not leak into other submits' results.

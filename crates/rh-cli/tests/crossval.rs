@@ -1,0 +1,167 @@
+//! Statistical cross-validation: the simulator against the closed form.
+//!
+//! Every other correctness argument in this workspace is differential
+//! (optimized ≡ reference, distributed ≡ in-process), which cannot catch a
+//! bug both paths share. This harness checks the engine against an
+//! *external* ground truth: at matched `(p, HC_first, window)` points it
+//! simulates many independent seeded attack windows, counts how many end in
+//! a bit flip, and asserts the empirical failure rate lands inside the
+//! Wilson confidence band around `rh-analysis`' closed-form prediction.
+//!
+//! The contract (see docs/ARCHITECTURE.md, "Analytical cross-validation"):
+//!
+//! * Bands use `CROSSVAL_Z` (~1e-5 two-sided tail) and fixed seeds, so each
+//!   assertion is deterministic in practice — it either always passes or
+//!   always fails for a given engine + model.
+//! * A failure here means the engine's failure statistics drifted from the
+//!   run-length model (or the activation→trial mapping broke — the
+//!   off-by-one probe below localizes that case). It is *not* a flaky test
+//!   to be re-run.
+//!
+//! `RH_CROSSVAL_QUICK=1` shrinks the per-point trial count for CI's
+//! analysis-gate job; the points themselves never change.
+
+use rh_cli::configure::{
+    analytic_pfail, analytic_pfail_dual, empirical_failure_rate, recommended_p, run_configure,
+    ConfigureOptions, CROSSVAL_Z,
+};
+use rh_core::derive_seed;
+
+const ROOT_SEED: u64 = 0xC0FFEE;
+
+/// Trials per matched point: enough for the Wilson band to have real
+/// discriminating power, shrunk under `RH_CROSSVAL_QUICK=1` for CI.
+fn trials_per_point() -> u64 {
+    if std::env::var("RH_CROSSVAL_QUICK").is_ok_and(|v| v == "1") {
+        120
+    } else {
+        300
+    }
+}
+
+/// The matched points: `(HC_first, window, target P_fail)` chosen so the
+/// solved sampling rates span the deployable range and the analytical
+/// failure probabilities stay far from 0 and 1, where a ~100-trial
+/// empirical rate still carries information.
+const POINTS: [(u64, u64, f64); 7] = [
+    (6, 800, 0.3),
+    (8, 1_500, 0.5),
+    (10, 2_000, 0.7),
+    (12, 2_500, 0.4),
+    (16, 3_000, 0.5),
+    (20, 4_000, 0.6),
+    (24, 5_000, 0.25),
+];
+
+/// The tentpole acceptance gate: at every matched point, the empirical
+/// per-window failure rate must land inside the analytical confidence
+/// band, and the two closed forms must agree within 1e-9.
+#[test]
+fn empirical_failure_rates_match_the_closed_form_at_matched_points() {
+    assert!(POINTS.len() >= 6, "the contract names at least 6 points");
+    let trials = trials_per_point();
+    for (i, &(hc, window, target)) in POINTS.iter().enumerate() {
+        let p = recommended_p(hc, window, target);
+        let analytic = analytic_pfail(p, hc, window);
+        let dual = analytic_pfail_dual(p, hc, window);
+        assert!(
+            (analytic - dual).abs() <= 1e-9,
+            "point {i}: direct {analytic} vs dual {dual}"
+        );
+        // The solver lands the failure probability essentially on the
+        // target; both must sit away from the degenerate extremes or the
+        // statistical check has no power.
+        assert!(
+            (0.05..=0.95).contains(&analytic),
+            "point {i}: analytic {analytic} too extreme to test statistically"
+        );
+        let seed = derive_seed(ROOT_SEED, &[i as u64]);
+        let (failures, n) = empirical_failure_rate(p, hc, window, trials, seed);
+        let (lo, hi) = rh_analysis::wilson_interval(failures, n, CROSSVAL_Z);
+        assert!(
+            lo <= analytic && analytic <= hi,
+            "point {i} (hc={hc}, w={window}, p={p}): empirical {failures}/{n} gives band \
+             [{lo}, {hi}], analytic {analytic} outside — the engine's failure statistics \
+             drifted from the run-length model"
+        );
+    }
+}
+
+/// Pin the activation→trial shift: with `p = 0` (never sample, auto-refresh
+/// off) the first flip lands at exactly activation `HC_first`, so a window
+/// of `HC_first` activations always fails and one of `HC_first − 1` never
+/// does. If the engine's per-activation ordering (observe → leak → refresh)
+/// ever changes, this deterministic probe fails before the statistical
+/// assertions turn into noise.
+#[test]
+fn off_by_one_mapping_is_pinned_at_p_zero() {
+    for &hc in &[5u64, 17, 50] {
+        let seed = derive_seed(ROOT_SEED, &[0xFF, hc]);
+        assert_eq!(
+            empirical_failure_rate(0.0, hc, hc, 1, seed),
+            (1, 1),
+            "hc={hc}: a window of exactly HC_first unsampled activations must flip"
+        );
+        assert_eq!(
+            empirical_failure_rate(0.0, hc, hc - 1, 1, seed),
+            (0, 1),
+            "hc={hc}: one activation short of HC_first must not flip"
+        );
+        // And p = 1 (sample everything) can never fail.
+        assert_eq!(empirical_failure_rate(1.0, hc, 4 * hc, 3, seed), (0, 3));
+    }
+}
+
+/// The harness is seeded end to end: the same point re-simulated gives
+/// bit-identical counts (re-runs of a red CI job reproduce, not re-roll).
+#[test]
+fn crossval_trials_are_deterministic() {
+    let (hc, window, target) = POINTS[1];
+    let p = recommended_p(hc, window, target);
+    let seed = derive_seed(ROOT_SEED, &[1]);
+    let first = empirical_failure_rate(p, hc, window, 40, seed);
+    let second = empirical_failure_rate(p, hc, window, 40, seed);
+    assert_eq!(first, second);
+    // A different seed draws a different sample path (40 windows at a
+    // mid-range P_fail collide with negligible probability).
+    let other = empirical_failure_rate(p, hc, window, 40, derive_seed(ROOT_SEED, &[2]));
+    assert_ne!(
+        first, other,
+        "independent seeds must draw independent paths"
+    );
+}
+
+/// The acceptance criterion for `configure`: its recommended `p`, re-swept
+/// through the simulator, meets the target failure probability (the
+/// validation band contains the analytical prediction and is consistent
+/// with the target).
+#[test]
+fn configure_recommendation_round_trips_through_the_simulator() {
+    let report = run_configure(&ConfigureOptions {
+        hc_first: 10,
+        window: 2_000,
+        target_pfail: 0.5,
+        validate: true,
+        trials: trials_per_point(),
+        seed: ROOT_SEED,
+    })
+    .expect("configure must run");
+    let v = report.validation.as_ref().expect("validation requested");
+    assert!(
+        v.pass,
+        "recommendation p={} failed validation: {}/{} failures, band [{}, {}], \
+         analytic {}, target {}",
+        report.recommended_p,
+        v.failures,
+        v.trials,
+        v.band_lo,
+        v.band_hi,
+        report.analytic_pfail,
+        report.target_pfail
+    );
+    assert!(report.healthy());
+    // The analytical side of the round trip: the recommendation meets the
+    // target, and one part in a million less sampling would not.
+    assert!(report.analytic_pfail <= report.target_pfail);
+    assert!(analytic_pfail(report.recommended_p * (1.0 - 1e-6), 10, 2_000) > 0.5);
+}
